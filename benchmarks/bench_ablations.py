@@ -1,0 +1,33 @@
+"""Benchmark: the ablations beyond the paper's figures.
+
+- Eq. (2)'s f: fidelity insensitive for f >= 50 (the footnote study).
+- Eq. (7) guard: removing it costs fidelity even though it saves
+  messages (the Figure 4 phenomenon, measured end to end).
+"""
+
+from repro.experiments import sensitivity
+
+
+def bench_f_sensitivity(once):
+    result = once(
+        sensitivity.run_f_sensitivity,
+        preset="tiny",
+        f_values=(50.0, 100.0, 200.0),
+        t_percent=80.0,
+        n_items=8,
+        trace_samples=500,
+    )
+    assert result.notes["max variation for f>=50 (paper: ~1%)"] < 2.5
+
+
+def bench_eq7_guard(once):
+    result = once(
+        sensitivity.run_eq7_ablation,
+        preset="tiny",
+        t_percent=80.0,
+        n_items=8,
+        trace_samples=500,
+    )
+    distributed_loss, eq3_loss = result.series[0].ys
+    assert eq3_loss >= distributed_loss
+    assert result.notes["messages eq3_only"] <= result.notes["messages distributed"]

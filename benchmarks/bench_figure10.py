@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 10 (preference-function sensitivity).
+
+Shape assertion: with controlled cooperation, P1 (with availability) and
+P2 (without) are nearly indistinguishable -- the paper reports <1%.
+"""
+
+from benchmarks.conftest import BENCH_OVERRIDES
+from repro.experiments import figure10
+
+
+def bench_figure10_preference_functions(once):
+    result = once(
+        figure10.run,
+        preset="tiny",
+        degrees=[4, 20],
+        t_percent=100.0,
+        **BENCH_OVERRIDES,
+    )
+    p1w = result.series_by_label("P1W").ys
+    p2w = result.series_by_label("P2W").ys
+    for a, b in zip(p1w, p2w):
+        assert abs(a - b) < 3.0

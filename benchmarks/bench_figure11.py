@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 11 (centralised vs. distributed).
+
+Shape assertions: the centralised source performs noticeably more checks
+(paper: ~50% more); both exact policies send essentially the same number
+of messages and reach comparable fidelity.
+"""
+
+from benchmarks.conftest import BENCH_OVERRIDES
+from repro.experiments import figure11
+
+
+def bench_figure11_policy_overheads(once):
+    result = once(figure11.run, preset="tiny", t_percent=80.0, **BENCH_OVERRIDES)
+    assert result.check_ratio > 1.2
+    assert 0.8 < result.message_ratio < 1.2
+    assert abs(result.centralized_loss - result.distributed_loss) < 3.0

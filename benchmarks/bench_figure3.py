@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 3 (loss of fidelity vs. cooperation).
+
+Shape assertions: the T=100 curve is U-shaped with its minimum at a
+moderate degree; curves order by stringency; T=0 stays flat near zero.
+"""
+
+from benchmarks.conftest import BENCH_DEGREES, BENCH_OVERRIDES
+from repro.experiments import figure3
+
+
+def bench_figure3_u_curve(once):
+    result = once(
+        figure3.run,
+        preset="tiny",
+        t_values=(100.0, 50.0, 0.0),
+        degrees=BENCH_DEGREES,
+        **BENCH_OVERRIDES,
+    )
+    t100 = result.series_by_label("T=100").ys
+    best = min(t100)
+    assert t100[0] > 1.5 * best, "chain arm must rise above the optimum"
+    assert t100[-1] > 1.3 * best, "full-fan-out arm must rise again"
+    t0 = result.series_by_label("T=0").ys
+    assert max(t0) < 1.0, "lax mix should be flat near zero"
+    for a, b in zip(t100, t0):
+        assert a >= b

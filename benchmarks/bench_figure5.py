@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 5 (no cooperation, comm-delay sweep).
+
+Shape assertion: with the source serving everyone, loss is already large
+at zero communication delay (the bottleneck is computational) and does
+not improve with faster networks.
+"""
+
+from benchmarks.conftest import BENCH_OVERRIDES
+from repro.experiments import figure5
+
+
+def bench_figure5_no_cooperation_comm_sweep(once):
+    result = once(
+        figure5.run,
+        preset="tiny",
+        t_values=(100.0, 0.0),
+        comm_delays_ms=(0.0, 50.0, 125.0),
+        **BENCH_OVERRIDES,
+    )
+    t100 = result.series_by_label("T=100").ys
+    assert t100[0] > 3.0, "loss must exist even on a zero-delay network"
+    assert t100[-1] >= t100[0], "faster networks cannot rescue no-cooperation"
+    assert max(result.series_by_label("T=0").ys) < 1.0

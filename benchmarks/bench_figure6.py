@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 6 (no cooperation, comp-delay sweep).
+
+Shape assertion: loss of fidelity worsens steeply with the per-dependent
+computational delay when the source serves every repository directly.
+"""
+
+from repro.experiments import figure6
+
+
+def bench_figure6_no_cooperation_comp_sweep(once):
+    result = once(
+        figure6.run,
+        preset="tiny",
+        t_values=(100.0, 0.0),
+        comp_delays_ms=(0.0, 12.5, 25.0),
+        n_items=12,
+        trace_samples=500,
+    )
+    t100 = result.series_by_label("T=100").ys
+    assert t100[0] < 1.0
+    assert t100[0] < t100[1] < t100[2]
+    assert t100[2] > 3.0
+    assert max(result.series_by_label("T=0").ys) < 1.0

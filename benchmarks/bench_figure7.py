@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Figure 7 (controlled cooperation, three panels).
+
+Shape assertions: the offered-resources sweep becomes an L (flat beyond
+the Eq. 2 clamp); Eq. 2 raises the degree with communication delays and
+lowers it with computational delays while keeping loss moderate.
+"""
+
+from benchmarks.conftest import BENCH_DEGREES, BENCH_OVERRIDES
+from repro.experiments import figure7
+
+
+def bench_figure7a_l_curve(once):
+    result = once(
+        figure7.run_base_case,
+        preset="tiny",
+        t_values=(100.0,),
+        degrees=BENCH_DEGREES,
+        **BENCH_OVERRIDES,
+    )
+    clamp = result.notes["coopDegree (Eq. 2 clamp at max offered)"]
+    ys = result.series_by_label("T=100").ys
+    tail = [y for x, y in zip(result.xs, ys) if x >= clamp]
+    assert len(tail) >= 2
+    assert max(tail) - min(tail) < 1e-9, "beyond the clamp the curve is flat"
+
+
+def bench_figure7b_comm_adaptation(once):
+    result = once(
+        figure7.run_comm_sweep,
+        preset="tiny",
+        t_values=(100.0,),
+        comm_delays_ms=(25.0, 125.0),
+        n_items=12,
+        trace_samples=500,
+    )
+    degrees = result.notes["Eq. (2) degrees along the sweep"]
+    assert degrees[-1] > degrees[0]
+    assert max(result.series_by_label("T=100").ys) < 8.0
+
+
+def bench_figure7c_comp_adaptation(once):
+    result = once(
+        figure7.run_comp_sweep,
+        preset="tiny",
+        t_values=(100.0,),
+        comp_delays_ms=(5.0, 25.0),
+        n_items=12,
+        trace_samples=500,
+    )
+    degrees = result.notes["Eq. (2) degrees along the sweep"]
+    assert degrees[-1] < degrees[0]
+    assert max(result.series_by_label("T=100").ys) < 8.0

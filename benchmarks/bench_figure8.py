@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 8 (filtering vs. flooding).
+
+Shape assertions: flooding collapses at high fan-out while the filtered
+system stays flat near zero, and flooding sends far more messages.
+"""
+
+from benchmarks.conftest import BENCH_DEGREES, BENCH_OVERRIDES
+from repro.experiments import figure8
+
+
+def bench_figure8_filtering(once):
+    result = once(figure8.run, preset="tiny", degrees=BENCH_DEGREES, **BENCH_OVERRIDES)
+    flood = result.series_by_label("All updates").ys
+    filtered = result.series_by_label("Filtered").ys
+    assert flood[-1] > 10 * max(filtered[-1], 0.01)
+    assert max(filtered) < 1.0
+    assert (
+        result.notes["messages (all updates, max degree)"]
+        > 2 * result.notes["messages (filtered, max degree)"]
+    )

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 9 (P% sensitivity).
+
+Shape assertion: once the degree of cooperation is controlled, the load
+controller's admission band P% becomes a second-order knob.
+"""
+
+from benchmarks.conftest import BENCH_OVERRIDES
+from repro.experiments import figure9
+
+
+def bench_figure9_p_band(once):
+    result = once(
+        figure9.run,
+        preset="tiny",
+        p_values=(1.0, 5.0, 25.0),
+        degrees=[4, 20],
+        t_percent=100.0,
+        **BENCH_OVERRIDES,
+    )
+    controlled = [s for s in result.series if s.label.endswith("W")]
+    assert len(controlled) == 3
+    for i in range(len(result.xs)):
+        ys = [s.ys[i] for s in controlled]
+        assert max(ys) - min(ys) < 3.0

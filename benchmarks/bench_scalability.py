@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Section 6.3.5 (scalability sweep).
+
+Shape assertion: tripling the repository count under controlled
+cooperation grows the loss of fidelity by less than 5 percentage points.
+"""
+
+from repro.experiments import scalability
+
+
+def bench_scalability_triple_repositories(once):
+    result = once(
+        scalability.run,
+        preset="tiny",
+        repo_counts=(20, 40, 60),
+        t_percent=80.0,
+        n_items=8,
+        trace_samples=500,
+    )
+    assert result.notes["loss increase base->max (paper: <5%)"] < 5.0
+    losses = result.series_by_label("controlled cooperation").ys
+    assert all(0.0 <= loss <= 100.0 for loss in losses)

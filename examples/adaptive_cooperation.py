@@ -1,0 +1,54 @@
+"""Adaptive cooperation: Eq. (2) in action.
+
+Sweeps the environment -- first the network's mean delay, then the
+per-dependent computational cost -- and shows how the controlled degree
+of cooperation adapts (more fan-out when the network is slow, less when
+computation is expensive), keeping the loss of fidelity low where a
+fixed degree degrades.
+
+Run:
+    python examples/adaptive_cooperation.py
+"""
+
+from repro.engine import SCALE_PRESETS, run_simulation
+
+
+def sweep(label, configs):
+    print(label)
+    print(f"  {'x':>8} {'Eq.2 degree':>12} {'loss %':>8}")
+    base = None
+    for x, config in configs:
+        result = run_simulation(config)
+        print(f"  {x:>8.1f} {result.effective_degree:>12} {result.loss_of_fidelity:>8.2f}")
+    print()
+
+
+def main() -> None:
+    base = SCALE_PRESETS["tiny"].with_(
+        n_items=12,
+        trace_samples=800,
+        t_percent=100.0,
+        offered_degree=20,            # offer everything; Eq. (2) decides
+        controlled_cooperation=True,
+    )
+
+    sweep(
+        "Varying communication delay (computation fixed at 12.5 ms):",
+        [
+            (delay, base.with_(comm_target_ms=delay))
+            for delay in (10.0, 25.0, 60.0, 125.0)
+        ],
+    )
+    sweep(
+        "Varying computational delay (network fixed):",
+        [
+            (comp, base.with_(comp_delay_ms=comp))
+            for comp in (2.0, 12.5, 25.0)
+        ],
+    )
+    print("The degree of cooperation rises with communication delays and")
+    print("falls with computational delays -- Section 3's Eq. (2).")
+
+
+if __name__ == "__main__":
+    main()

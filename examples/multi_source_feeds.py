@@ -1,0 +1,45 @@
+"""Multiple sources: two exchanges feeding one repository network.
+
+Section 4 of the paper assumes a single source for exposition and notes
+the multi-source extension is straightforward.  Here two "exchanges"
+each own half the tickers; repositories subscribe across both, LeLA
+builds one dissemination tree per exchange under *shared* cooperation
+budgets, and a single event-driven simulation runs both trees through
+the same per-node queues.
+
+Run:
+    python examples/multi_source_feeds.py
+"""
+
+from repro.engine import SCALE_PRESETS
+from repro.engine.multisource import build_multisource_setup, MultiSourceSimulation
+
+
+def main() -> None:
+    config = SCALE_PRESETS["tiny"].with_(
+        n_items=8,
+        trace_samples=1_000,
+        t_percent=80.0,
+        offered_degree=6,
+    )
+
+    print(f"{'sources':>8} {'loss %':>8} {'messages':>10} {'busiest sender':>16}")
+    print("-" * 46)
+    for n_sources in (1, 2, 4):
+        setup = build_multisource_setup(config, n_sources)
+        result = MultiSourceSimulation(setup).run()
+        node, sent = result.counters.busiest_sender()
+        print(
+            f"{n_sources:>8} {result.loss_of_fidelity:>8.2f} "
+            f"{result.messages:>10} {f'node {node}: {sent}':>16}"
+        )
+
+    print()
+    print("Splitting items across sources spreads the dissemination load:")
+    print("the busiest node sends fewer messages and fidelity improves,")
+    print("while shared cooperation budgets keep every repository within")
+    print("its offered degree across all trees.")
+
+
+if __name__ == "__main__":
+    main()

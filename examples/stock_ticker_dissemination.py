@@ -1,0 +1,47 @@
+"""Stock-ticker dissemination: the paper's motivating workload.
+
+An online brokerage replicates six tickers (the paper's Table 1 symbols)
+across repositories so that traders with $0.01-tolerance requirements
+and casual observers with $0.50 tolerances are all served without
+hammering the source.  Compares the three dissemination policies on the
+identical workload and prints a Table-1-style trace summary.
+
+Run:
+    python examples/stock_ticker_dissemination.py
+"""
+
+from repro.engine import SCALE_PRESETS
+from repro.engine.builder import build_setup
+from repro.engine.simulation import run_simulation
+from repro.traces.stats import format_table1, summarize
+
+
+def main() -> None:
+    config = SCALE_PRESETS["tiny"].with_(
+        n_items=6,               # exactly the six Table 1 tickers
+        trace_samples=2_000,
+        t_percent=50.0,          # half the subscriptions are trader-grade
+        offered_degree=4,
+        controlled_cooperation=True,
+    )
+    setup = build_setup(config)
+
+    print("Trace characteristics (compare the paper's Table 1):")
+    print(format_table1([summarize(t) for t in setup.traces.values()]))
+    print()
+
+    print(f"{'policy':<14} {'loss %':>8} {'messages':>10} {'source checks':>14}")
+    print("-" * 50)
+    for policy in ("distributed", "centralized", "flooding"):
+        result = run_simulation(config.with_(policy=policy), base=setup)
+        print(
+            f"{policy:<14} {result.loss_of_fidelity:>8.2f} "
+            f"{result.messages:>10} {result.source_checks:>14}"
+        )
+    print()
+    print("distributed and centralized send similar message counts and")
+    print("achieve similar fidelity; flooding pays for its extra traffic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""The paper's primary contribution: cooperative coherency maintenance.
+
+Modules:
+
+- :mod:`repro.core.items` -- data items and coherency-requirement mixes.
+- :mod:`repro.core.interests` -- per-repository interest profiles.
+- :mod:`repro.core.cooperation` -- the Eq. (2) degree-of-cooperation
+  heuristic (Section 3).
+- :mod:`repro.core.preference` -- LeLA preference factors (Section 4).
+- :mod:`repro.core.tree` -- the dynamic-data dissemination graph
+  (``d3g``) and per-item trees (``d3t``).
+- :mod:`repro.core.lela` -- the Level-by-Level construction Algorithm.
+- :mod:`repro.core.dissemination` -- update-dissemination policies
+  (Section 5): distributed, centralised, flooding, Eq.-3-only.
+- :mod:`repro.core.fidelity` -- the fidelity / loss-of-fidelity metric.
+- :mod:`repro.core.metrics` -- message and check accounting.
+"""
+
+from repro.core.cooperation import coop_degree
+from repro.core.interests import InterestProfile, generate_interests
+from repro.core.items import CoherencyMix, DataItem
+from repro.core.lela import LelaBuilder, build_d3g
+from repro.core.preference import PreferenceFunction, preference_p1, preference_p2
+from repro.core.tree import DisseminationGraph
+
+__all__ = [
+    "coop_degree",
+    "InterestProfile",
+    "generate_interests",
+    "CoherencyMix",
+    "DataItem",
+    "LelaBuilder",
+    "build_d3g",
+    "PreferenceFunction",
+    "preference_p1",
+    "preference_p2",
+    "DisseminationGraph",
+]

@@ -1,0 +1,146 @@
+"""The client layer (Sections 1.2 and 2).
+
+Clients connect to repositories, not to the source.  Each client
+specifies its own coherency requirement per data item; since several
+clients share a repository, *"the coherency requirement for data item x
+at a repository R is defined to be the most stringent coherency
+requirement across all clients that obtain x from R"*.
+
+This module models client populations and derives the repository
+interest profiles the rest of the library consumes, plus the reverse
+check a deployment needs: given what a repository achieved, which
+clients' requirements were actually met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.interests import InterestProfile
+from repro.core.items import CoherencyMix, DataItem
+from repro.errors import ConfigurationError
+
+__all__ = ["Client", "ClientPopulation", "derive_repository_profiles"]
+
+
+@dataclass(frozen=True)
+class Client:
+    """One end client: attached to a repository, wanting items at tolerances.
+
+    Attributes:
+        client_id: Unique client identifier.
+        repository: Node id of the repository the client reads from.
+        requirements: ``item_id -> c`` tolerances this client needs.
+    """
+
+    client_id: int
+    repository: int
+    requirements: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for item_id, c in self.requirements.items():
+            if c <= 0:
+                raise ConfigurationError(
+                    f"client {self.client_id}: tolerance for item {item_id} "
+                    f"must be positive, got {c!r}"
+                )
+
+
+@dataclass
+class ClientPopulation:
+    """All clients of a deployment, indexable by repository."""
+
+    clients: list[Client] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    def at_repository(self, repository: int) -> list[Client]:
+        """Clients attached to one repository."""
+        return [c for c in self.clients if c.repository == repository]
+
+    def repositories(self) -> list[int]:
+        """Repositories that have at least one client, sorted."""
+        return sorted({c.repository for c in self.clients})
+
+    def satisfied_by(self, repository: int, item_id: int, achieved_c: float) -> list[Client]:
+        """Clients of ``repository`` whose requirement ``achieved_c`` meets.
+
+        A client is satisfied when the repository's achieved coherency
+        for the item is at least as stringent as the client's own need.
+        """
+        return [
+            c
+            for c in self.at_repository(repository)
+            if item_id in c.requirements and achieved_c <= c.requirements[item_id]
+        ]
+
+    @classmethod
+    def generate(
+        cls,
+        repositories: list[int],
+        items: list[DataItem],
+        mix: CoherencyMix,
+        rng: np.random.Generator,
+        clients_per_repository: int = 5,
+        subscription_probability: float = 0.5,
+    ) -> "ClientPopulation":
+        """Random population in the paper's style.
+
+        Each repository hosts ``clients_per_repository`` clients; each
+        client wants each item with ``subscription_probability`` and
+        draws its tolerance from the stringent/lax mix.
+        """
+        if clients_per_repository < 1:
+            raise ConfigurationError(
+                "clients_per_repository must be >= 1, "
+                f"got {clients_per_repository!r}"
+            )
+        if not 0.0 < subscription_probability <= 1.0:
+            raise ConfigurationError(
+                "subscription_probability must be in (0, 1], "
+                f"got {subscription_probability!r}"
+            )
+        item_ids = np.array([item.item_id for item in items])
+        clients: list[Client] = []
+        next_id = 0
+        for repo in repositories:
+            for _ in range(clients_per_repository):
+                wanted = item_ids[rng.random(len(item_ids)) < subscription_probability]
+                if wanted.size == 0:
+                    wanted = np.array([rng.choice(item_ids)])
+                tolerances = mix.draw(wanted.size, rng)
+                clients.append(
+                    Client(
+                        client_id=next_id,
+                        repository=repo,
+                        requirements={
+                            int(i): float(c) for i, c in zip(wanted, tolerances)
+                        },
+                    )
+                )
+                next_id += 1
+        return cls(clients=clients)
+
+
+def derive_repository_profiles(
+    population: ClientPopulation,
+) -> dict[int, InterestProfile]:
+    """Fold client requirements into per-repository interest profiles.
+
+    For every repository and item, the derived tolerance is the minimum
+    (most stringent) over the repository's clients -- Section 1.2's rule.
+    Repositories without clients are omitted.
+    """
+    derived: dict[int, dict[int, float]] = {}
+    for client in population.clients:
+        reqs = derived.setdefault(client.repository, {})
+        for item_id, c in client.requirements.items():
+            if item_id not in reqs or c < reqs[item_id]:
+                reqs[item_id] = c
+    return {
+        repo: InterestProfile(repository=repo, requirements=reqs)
+        for repo, reqs in sorted(derived.items())
+    }

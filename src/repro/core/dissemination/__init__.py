@@ -1,0 +1,36 @@
+"""Update-dissemination policies (Section 5).
+
+A policy decides, for every update flowing through a node, which of the
+node's dependents must receive it.  Implemented policies:
+
+- :class:`~repro.core.dissemination.distributed.DistributedPolicy` --
+  the repository-based approach: Eq. (3) plus the Eq. (7) missed-updates
+  guard; 100% fidelity under zero delays.
+- :class:`~repro.core.dissemination.centralized.CentralizedPolicy` --
+  the source-based approach: the source tags each update with the
+  largest violated coherency tolerance; also 100% fidelity under zero
+  delays, at the cost of more source-side checks.
+- :class:`~repro.core.dissemination.flooding.FloodingPolicy` -- pushes
+  every update to every interested dependent (the paper's "all updates"
+  baseline, Figure 8).
+- :class:`~repro.core.dissemination.eq3only.Eq3OnlyPolicy` -- Eq. (3)
+  alone; provably insufficient (the Figure 4 missed-update scenario).
+"""
+
+from repro.core.dissemination.base import DisseminationPolicy, ForwardDecision
+from repro.core.dissemination.centralized import CentralizedPolicy
+from repro.core.dissemination.distributed import DistributedPolicy
+from repro.core.dissemination.eq3only import Eq3OnlyPolicy
+from repro.core.dissemination.flooding import FloodingPolicy
+from repro.core.dissemination.registry import available_policies, make_policy
+
+__all__ = [
+    "DisseminationPolicy",
+    "ForwardDecision",
+    "DistributedPolicy",
+    "CentralizedPolicy",
+    "FloodingPolicy",
+    "Eq3OnlyPolicy",
+    "make_policy",
+    "available_policies",
+]

@@ -1,0 +1,116 @@
+"""The centralised (source-based) dissemination policy (Section 5.2).
+
+The source maintains the list of all *unique* coherency tolerances that
+exist for each item anywhere in the repository network, together with the
+last value disseminated for each tolerance.  On a fresh update it checks
+every unique tolerance (these checks are the Figure 11(a) overhead),
+finds the violated ones, tags the update with the *largest* violated
+tolerance ``c_max``, records the value as last-sent for every tolerance
+``<= c_max``, and pushes the tagged update into the tree.
+
+A repository receiving a tagged update forwards it to each dependent that
+(i) is interested in the item and (ii) has a serving coherency ``<=`` the
+tag.  Because Eq. (1) makes coherencies non-increasing in stringency
+toward the leaves, the tag cleanly prunes whole subtrees.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DisseminationError
+from repro.core.dissemination.base import (
+    DisseminationPolicy,
+    ForwardDecision,
+    SourceDecision,
+)
+
+__all__ = ["CentralizedPolicy", "tag_for_update"]
+
+_TOLERANCE_QUANTUM = 1e-9
+
+
+def tag_for_update(
+    value: float, unique_cs: list[float], last_sent: dict[float, float]
+) -> float | None:
+    """Return the largest violated tolerance, or None if none is violated.
+
+    Exposed for direct unit testing; mutates nothing.
+    """
+    tag: float | None = None
+    for c in unique_cs:
+        if abs(value - last_sent[c]) > c:
+            if tag is None or c > tag:
+                tag = c
+    return tag
+
+
+class CentralizedPolicy(DisseminationPolicy):
+    """Source-based dissemination with tolerance tagging."""
+
+    name = "centralized"
+
+    def __init__(self) -> None:
+        # item -> sorted list of unique serving tolerances in the system.
+        self._unique_cs: dict[int, list[float]] = {}
+        # item -> {tolerance -> last value disseminated for it}.
+        self._last_sent: dict[int, dict[float, float]] = {}
+        self._initial: dict[int, float] = {}
+        self._edge_c: dict[tuple[int, int, int], float] = {}
+
+    @staticmethod
+    def _quantise(c: float) -> float:
+        """Collapse float noise so 'unique tolerance' is well defined."""
+        return round(c, 9)
+
+    def register_edge(
+        self, parent: int, child: int, item_id: int, c_serve: float, initial_value: float
+    ) -> None:
+        c = self._quantise(c_serve)
+        self._edge_c[(parent, child, item_id)] = c
+        cs = self._unique_cs.setdefault(item_id, [])
+        sent = self._last_sent.setdefault(item_id, {})
+        if c not in sent:
+            cs.append(c)
+            cs.sort()
+            sent[c] = initial_value
+        self._initial.setdefault(item_id, initial_value)
+
+    def unique_tolerances(self, item_id: int) -> list[float]:
+        """The source's per-item state (ascending unique tolerances)."""
+        return list(self._unique_cs.get(item_id, []))
+
+    def at_source(self, item_id: int, value: float) -> SourceDecision:
+        cs = self._unique_cs.get(item_id)
+        if not cs:
+            return SourceDecision(disseminate=False, tag=None, checks=0)
+        sent = self._last_sent[item_id]
+        tag = tag_for_update(value, cs, sent)
+        checks = len(cs)
+        if tag is None:
+            return SourceDecision(disseminate=False, tag=None, checks=checks)
+        for c in cs:
+            if c <= tag:
+                sent[c] = value
+            else:
+                break
+        return SourceDecision(disseminate=True, tag=tag, checks=checks)
+
+    def decide(
+        self,
+        parent: int,
+        child: int,
+        item_id: int,
+        value: float,
+        parent_receive_c: float,
+        tag: float | None,
+    ) -> ForwardDecision:
+        if tag is None:
+            raise DisseminationError(
+                "centralised dissemination requires a source tag on every update"
+            )
+        try:
+            c_serve = self._edge_c[(parent, child, item_id)]
+        except KeyError:
+            raise DisseminationError(
+                f"edge {parent}->{child} for item {item_id} was never registered"
+            ) from None
+        return ForwardDecision(forward=c_serve <= tag)

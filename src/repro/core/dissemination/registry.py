@@ -1,0 +1,42 @@
+"""Policy registry: build a fresh policy instance by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.core.dissemination.base import DisseminationPolicy
+from repro.core.dissemination.centralized import CentralizedPolicy
+from repro.core.dissemination.distributed import DistributedPolicy
+from repro.core.dissemination.eq3only import Eq3OnlyPolicy
+from repro.core.dissemination.flooding import FloodingPolicy
+
+__all__ = ["make_policy", "available_policies"]
+
+_FACTORIES: dict[str, Callable[[], DisseminationPolicy]] = {
+    DistributedPolicy.name: DistributedPolicy,
+    CentralizedPolicy.name: CentralizedPolicy,
+    FloodingPolicy.name: FloodingPolicy,
+    Eq3OnlyPolicy.name: Eq3OnlyPolicy,
+}
+
+
+def available_policies() -> list[str]:
+    """Names accepted by :func:`make_policy`."""
+    return sorted(_FACTORIES)
+
+
+def make_policy(name: str) -> DisseminationPolicy:
+    """Instantiate a dissemination policy by registry name.
+
+    Raises:
+        ConfigurationError: on an unknown policy name.
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dissemination policy {name!r}; "
+            f"choose from {available_policies()}"
+        ) from None
+    return factory()

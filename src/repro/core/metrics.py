@@ -1,0 +1,66 @@
+"""Message and check accounting (Section 6.2 and Figure 11).
+
+Besides fidelity, the paper measures:
+
+- the number of update messages sent system-wide (cost of coherency
+  maintenance; Figure 11(b) shows the two exact policies send the same
+  number), and
+- the number of checks performed on incoming data values, especially at
+  the source (Figure 11(a) shows the centralised policy does ~50% more
+  at the source than the distributed policy does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CostCounters"]
+
+
+@dataclass
+class CostCounters:
+    """Mutable counters threaded through one simulation run."""
+
+    messages: int = 0
+    source_checks: int = 0
+    repository_checks: int = 0
+    source_messages: int = 0
+    deliveries: int = 0
+    drops: int = 0
+    per_node_messages: dict[int, int] = field(default_factory=dict)
+    per_node_checks: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_checks(self) -> int:
+        """All coherency checks performed anywhere in the system."""
+        return self.source_checks + self.repository_checks
+
+    def record_check(self, node: int, is_source: bool, count: int = 1) -> None:
+        """Count ``count`` coherency checks at ``node``."""
+        if is_source:
+            self.source_checks += count
+        else:
+            self.repository_checks += count
+        self.per_node_checks[node] = self.per_node_checks.get(node, 0) + count
+
+    def record_message(self, sender: int, is_source: bool) -> None:
+        """Count one update message leaving ``sender``."""
+        self.messages += 1
+        if is_source:
+            self.source_messages += 1
+        self.per_node_messages[sender] = self.per_node_messages.get(sender, 0) + 1
+
+    def record_delivery(self) -> None:
+        """Count one message arriving at a repository."""
+        self.deliveries += 1
+
+    def record_drop(self) -> None:
+        """Count one message lost in transit (failure injection)."""
+        self.drops += 1
+
+    def busiest_sender(self) -> tuple[int, int] | None:
+        """(node, messages) for the node that sent the most messages."""
+        if not self.per_node_messages:
+            return None
+        node = max(self.per_node_messages, key=lambda n: self.per_node_messages[n])
+        return node, self.per_node_messages[node]

@@ -1,0 +1,69 @@
+"""LeLA preference factors (Section 4).
+
+The per-level load controller ranks candidate parents by a *preference
+factor*; smaller is more preferred.  The paper combines three signals:
+
+1. *Data availability*: how many of the newcomer's items the candidate
+   can already serve (more is better).
+2. *Computational delay*: approximated by the candidate's current number
+   of dependents (fewer is better).
+3. *Communication delay*: network delay between candidate and newcomer
+   (smaller is better).
+
+``P1`` is the paper's factor,
+``(comm_delay * (1 + n_dependents)) / (1 + availability)``.
+``P2`` is the Figure 10 alternative that drops the availability term,
+``comm_delay * (1 + n_dependents)``.  The paper shows the choice barely
+matters once the degree of cooperation is controlled; Figure 10's
+reproduction checks that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PreferenceFunction",
+    "preference_p1",
+    "preference_p2",
+    "get_preference_function",
+]
+
+#: Signature: (comm_delay_ms, n_dependents, availability) -> preference.
+PreferenceFunction = Callable[[float, int, int], float]
+
+
+def preference_p1(comm_delay_ms: float, n_dependents: int, availability: int) -> float:
+    """The paper's preference factor (smaller = more preferred).
+
+    ``(communication delay * computational-load proxy) / data availability``
+    with ``+1`` regularisers so empty candidates are comparable.
+    """
+    return comm_delay_ms * (1.0 + n_dependents) / (1.0 + availability)
+
+
+def preference_p2(comm_delay_ms: float, n_dependents: int, availability: int) -> float:
+    """Figure 10's alternative: ignores data availability entirely."""
+    return comm_delay_ms * (1.0 + n_dependents)
+
+
+_REGISTRY: dict[str, PreferenceFunction] = {
+    "p1": preference_p1,
+    "p2": preference_p2,
+}
+
+
+def get_preference_function(name: str) -> PreferenceFunction:
+    """Look up a preference function by name (``"p1"`` or ``"p2"``).
+
+    Raises:
+        ConfigurationError: on an unknown name.
+    """
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown preference function {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,23 @@
+"""End-to-end simulation engine.
+
+Glues the substrates together: builds the physical network, traces and
+interest profiles from a :class:`~repro.engine.config.SimulationConfig`,
+constructs the ``d3g`` with LeLA, and drives the chosen dissemination
+policy through the discrete-event kernel.  The single entry point most
+callers need is :func:`~repro.engine.simulation.run_simulation`.
+"""
+
+from repro.engine.config import SCALE_PRESETS, SimulationConfig
+from repro.engine.builder import SimulationSetup, build_setup
+from repro.engine.results import SimulationResult
+from repro.engine.simulation import DisseminationSimulation, run_simulation
+
+__all__ = [
+    "SimulationConfig",
+    "SCALE_PRESETS",
+    "SimulationSetup",
+    "build_setup",
+    "SimulationResult",
+    "DisseminationSimulation",
+    "run_simulation",
+]

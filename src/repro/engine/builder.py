@@ -1,0 +1,197 @@
+"""Builds a ready-to-run simulation from a config.
+
+Assembly order (each step seeded by its own named random stream, so a
+parameter sweep perturbs only what it sweeps):
+
+1. physical network (topology + Floyd-Warshall routing),
+2. synthetic traces (one per item, Table 1-calibrated),
+3. interest profiles (50% subscription, T% stringent mix),
+4. degree of cooperation (the offered value, optionally clamped by
+   Eq. 2's controlled cooperation), and
+5. the ``d3g`` via LeLA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cooperation import coop_degree
+from repro.core.interests import InterestProfile, generate_interests
+from repro.core.items import CoherencyMix, DataItem
+from repro.core.lela import build_d3g
+from repro.core.preference import get_preference_function
+from repro.core.tree import DisseminationGraph
+from repro.engine.config import SimulationConfig
+from repro.network.delays import ParetoDelayModel
+from repro.network.model import NetworkModel, build_network
+from repro.sim.rng import RandomStreams
+from repro.traces.library import make_trace_set
+from repro.traces.model import Trace
+
+__all__ = ["SimulationSetup", "build_setup"]
+
+
+@dataclass
+class SimulationSetup:
+    """Everything :class:`~repro.engine.simulation.DisseminationSimulation`
+    needs, plus the derived quantities experiments report."""
+
+    config: SimulationConfig
+    network: NetworkModel
+    items: list[DataItem]
+    traces: dict[int, Trace]
+    profiles: dict[int, InterestProfile]
+    graph: DisseminationGraph
+    effective_degree: int
+    avg_comm_delay_ms: float
+
+    @property
+    def source(self) -> int:
+        return self.network.source
+
+    @property
+    def repositories(self) -> list[int]:
+        return [int(r) for r in self.network.repository_ids]
+
+
+def _build_network(config: SimulationConfig, streams: RandomStreams) -> NetworkModel:
+    if config.link_delay_mean_ms <= 0:
+        # Idealised zero-delay network: build with nominal delays for a
+        # realistic topology, then collapse them.
+        delay_model = ParetoDelayModel()
+        network = build_network(
+            config.n_repositories,
+            config.n_routers,
+            streams.stream("topology"),
+            delay_model=delay_model,
+            avg_degree=config.avg_degree,
+        )
+        return network.scaled_delays(0.0)
+    delay_model = ParetoDelayModel(
+        mean_ms=config.link_delay_mean_ms,
+        min_ms=min(config.link_delay_min_ms, config.link_delay_mean_ms / 2.0),
+    )
+    return build_network(
+        config.n_repositories,
+        config.n_routers,
+        streams.stream("topology"),
+        delay_model=delay_model,
+        avg_degree=config.avg_degree,
+    )
+
+
+_NETWORK_FIELDS = (
+    "seed",
+    "n_repositories",
+    "n_routers",
+    "avg_degree",
+    "link_delay_mean_ms",
+    "link_delay_min_ms",
+    "comm_target_ms",
+)
+_TRACE_FIELDS = ("seed", "n_items", "trace_samples")
+_INTEREST_FIELDS = (
+    "seed",
+    "n_items",
+    "n_repositories",
+    "t_percent",
+    "subscription_probability",
+)
+
+
+def _fields_match(a: SimulationConfig, b: SimulationConfig, fields) -> bool:
+    return all(getattr(a, f) == getattr(b, f) for f in fields)
+
+
+def build_setup(
+    config: SimulationConfig, base: SimulationSetup | None = None
+) -> SimulationSetup:
+    """Assemble network, traces, interests and the ``d3g`` for a config.
+
+    Args:
+        config: The run's parameterisation.
+        base: An earlier setup to recycle expensive pieces from.  Sweeps
+            that only vary, say, the offered degree reuse the network,
+            traces and interest profiles unchanged (the builder checks
+            which config fields actually affect each piece).
+    """
+    streams = RandomStreams(config.seed)
+
+    if base is not None and _fields_match(config, base.config, _NETWORK_FIELDS):
+        network = base.network
+    elif (
+        base is not None
+        and _fields_match(config, base.config, _NETWORK_FIELDS[:-1])
+        and config.comm_target_ms is not None
+        and base.network.mean_repo_delay_ms() > 0.0
+    ):
+        # Same topology, different delay target: rescale instead of
+        # regenerating (uniform scaling preserves shortest paths).
+        network = base.network.with_repo_mean_delay(config.comm_target_ms)
+    else:
+        network = _build_network(config, streams)
+        if config.comm_target_ms is not None:
+            network = network.with_repo_mean_delay(config.comm_target_ms)
+
+    items = [DataItem(item_id=i, name=f"ITEM{i:03d}") for i in range(config.n_items)]
+    if base is not None and _fields_match(config, base.config, _TRACE_FIELDS):
+        traces = base.traces
+    else:
+        traces = {
+            item.item_id: trace
+            for item, trace in zip(
+                items,
+                make_trace_set(
+                    config.n_items,
+                    rng_factory=lambda i: streams.spawn("traces", i),
+                    n_samples=config.trace_samples,
+                ),
+            )
+        }
+
+    if base is not None and _fields_match(config, base.config, _INTEREST_FIELDS):
+        profiles = base.profiles
+    else:
+        mix = CoherencyMix(t_percent=config.t_percent)
+        profiles = generate_interests(
+            repositories=[int(r) for r in network.repository_ids],
+            items=items,
+            mix=mix,
+            rng=streams.stream("interests"),
+            subscription_probability=config.subscription_probability,
+        )
+
+    avg_comm = network.mean_repo_delay_ms()
+    if config.controlled_cooperation:
+        effective = min(
+            config.offered_degree,
+            coop_degree(
+                avg_comm_delay_ms=avg_comm,
+                avg_comp_delay_ms=config.comp_delay_ms,
+                f=config.interest_fraction_f,
+                c_resources=config.offered_degree,
+            ),
+        )
+    else:
+        effective = config.offered_degree
+
+    graph = build_d3g(
+        profiles=[profiles[r] for r in sorted(profiles)],
+        source=network.source,
+        comm_delay_ms=network.delay_ms,
+        offered_degree=effective,
+        preference=get_preference_function(config.preference),
+        p_percent=config.p_percent,
+        rng=streams.stream("lela"),
+    )
+
+    return SimulationSetup(
+        config=config,
+        network=network,
+        items=items,
+        traces=traces,
+        profiles=profiles,
+        graph=graph,
+        effective_degree=effective,
+        avg_comm_delay_ms=avg_comm,
+    )

@@ -1,0 +1,131 @@
+"""Simulation configuration and scale presets.
+
+One :class:`SimulationConfig` fully determines a run: the same config
+(same seed) always produces the same result.  The paper's base case is
+the ``paper`` preset -- 1 source, 100 repositories, 600 routers, Pareto
+link delays with a 15 ms mean, 12.5 ms computational delay, traces of
+10 000 one-second samples.  The ``small``/``tiny`` presets shrink the
+workload for experiment sweeps and CI respectively while keeping every
+ratio (router:repository, change rate, delay scales) intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SimulationConfig", "SCALE_PRESETS"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything one dissemination simulation needs.
+
+    Attributes:
+        seed: Master seed for all random streams.
+        n_repositories: Repository count (paper: 100).
+        n_routers: Router count (paper: 600).
+        avg_degree: Physical-mesh average node degree.
+        link_delay_mean_ms: Mean Pareto link delay (paper: 15 ms). The
+            delay-sweep experiments rescale this; ``0`` gives an
+            idealised zero-delay network.
+        link_delay_min_ms: Minimum Pareto link delay (paper: 2 ms).
+        comm_target_ms: When set, uniformly rescale all network delays
+            so the mean repository-to-repository end-to-end delay hits
+            this value (the x-axis of Figures 5 and 7b); ``0`` gives the
+            idealised zero-delay network.
+        comp_delay_ms: Computational delay to disseminate one update to
+            one dependent (paper: 12.5 ms).
+        n_items: Number of dynamic data items.
+        trace_samples: Polled samples per trace (paper: 10 000 at 1/s).
+        subscription_probability: P(repository wants an item) (paper: 0.5).
+        t_percent: The paper's T -- % of items with stringent tolerances.
+        policy: Dissemination policy name (see
+            :func:`repro.core.dissemination.make_policy`).
+        offered_degree: Cooperative resources each node offers (the
+            sweep variable of Figures 3/7/8; the paper's ``cResources``
+            when ``controlled_cooperation`` is on).
+        controlled_cooperation: Clamp the offered degree with Eq. (2).
+        interest_fraction_f: Eq. (2)'s ``f`` (paper default 50).
+        preference: LeLA preference function, ``"p1"`` or ``"p2"``.
+        p_percent: LeLA load-controller admission band (paper: 5%).
+        message_loss_probability: Failure-injection knob -- probability
+            an update message is silently lost in the network (the paper
+            assumes a reliable network; 0 reproduces it).
+    """
+
+    seed: int = 20020812
+    n_repositories: int = 100
+    n_routers: int = 600
+    avg_degree: float = 3.0
+    link_delay_mean_ms: float = 15.0
+    link_delay_min_ms: float = 2.0
+    comm_target_ms: float | None = None
+    comp_delay_ms: float = 12.5
+    n_items: int = 20
+    trace_samples: int = 10_000
+    subscription_probability: float = 0.5
+    t_percent: float = 80.0
+    policy: str = "distributed"
+    offered_degree: int = 4
+    controlled_cooperation: bool = False
+    interest_fraction_f: float = 50.0
+    preference: str = "p1"
+    p_percent: float = 5.0
+    message_loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_repositories < 1:
+            raise ConfigurationError("n_repositories must be >= 1")
+        if self.n_routers < 0:
+            raise ConfigurationError("n_routers must be >= 0")
+        if self.n_items < 1:
+            raise ConfigurationError("n_items must be >= 1")
+        if self.trace_samples < 2:
+            raise ConfigurationError("trace_samples must be >= 2")
+        if self.comp_delay_ms < 0:
+            raise ConfigurationError("comp_delay_ms must be >= 0")
+        if self.link_delay_mean_ms < 0:
+            raise ConfigurationError("link_delay_mean_ms must be >= 0")
+        if self.comm_target_ms is not None and self.comm_target_ms < 0:
+            raise ConfigurationError("comm_target_ms must be >= 0 when set")
+        if self.offered_degree < 1:
+            raise ConfigurationError("offered_degree must be >= 1")
+        if not 0.0 <= self.t_percent <= 100.0:
+            raise ConfigurationError("t_percent must be in [0, 100]")
+        if self.interest_fraction_f <= 0:
+            raise ConfigurationError("interest_fraction_f must be positive")
+        if not 0.0 <= self.message_loss_probability < 1.0:
+            raise ConfigurationError(
+                "message_loss_probability must be in [0, 1)"
+            )
+
+    def with_(self, **overrides) -> "SimulationConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+#: Named scale presets.  ``paper`` matches the paper's base case except
+#: for the item count (the paper used up to 100 traces; 20 keeps the
+#: pure-Python run tractable -- scale ``n_items`` up to match exactly).
+SCALE_PRESETS: dict[str, SimulationConfig] = {
+    "tiny": SimulationConfig(
+        n_repositories=20,
+        n_routers=60,
+        n_items=6,
+        trace_samples=600,
+    ),
+    "small": SimulationConfig(
+        n_repositories=50,
+        n_routers=200,
+        n_items=10,
+        trace_samples=2_500,
+    ),
+    "paper": SimulationConfig(
+        n_repositories=100,
+        n_routers=600,
+        n_items=20,
+        trace_samples=10_000,
+    ),
+}

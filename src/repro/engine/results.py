@@ -1,0 +1,65 @@
+"""Result containers and aggregation for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metrics import CostCounters
+from repro.core.tree import TreeStats
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run produced.
+
+    Attributes:
+        loss_of_fidelity: The headline metric -- system-wide mean loss
+            of fidelity, percent (0 is perfect).
+        per_repository_loss: Mean loss per repository.
+        counters: Message/check accounting (Figure 11 metrics).
+        tree_stats: Shape of the ``d3g`` used for the run.
+        effective_degree: Degree of cooperation actually enforced
+            (after Eq. 2 clamping, when controlled cooperation is on).
+        avg_comm_delay_ms: Measured average node-to-node delay input to
+            Eq. (2).
+        events_processed: Discrete events executed by the kernel.
+        sim_span_s: Observation-window length (trace span).
+        extras: Free-form per-experiment additions.
+    """
+
+    loss_of_fidelity: float
+    per_repository_loss: dict[int, float]
+    counters: CostCounters
+    tree_stats: TreeStats
+    effective_degree: int
+    avg_comm_delay_ms: float
+    events_processed: int
+    sim_span_s: float
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def fidelity(self) -> float:
+        """System fidelity in percent (100 = perfect)."""
+        return 100.0 - self.loss_of_fidelity
+
+    @property
+    def messages(self) -> int:
+        """Total update messages sent (Figure 11(b) metric)."""
+        return self.counters.messages
+
+    @property
+    def source_checks(self) -> int:
+        """Checks performed at the source (Figure 11(a) metric)."""
+        return self.counters.source_checks
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"loss={self.loss_of_fidelity:.2f}% "
+            f"messages={self.counters.messages} "
+            f"source_checks={self.counters.source_checks} "
+            f"degree={self.effective_degree} "
+            f"depth<=|{self.tree_stats.max_depth}|"
+        )

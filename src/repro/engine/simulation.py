@@ -1,0 +1,213 @@
+"""The event-driven dissemination simulation.
+
+Semantics (DESIGN.md §5):
+
+- Source updates fire at trace timestamps; only *changes* are simulated
+  (polling repeats carry no information).
+- When an update reaches a node, the node's local copy refreshes
+  immediately, then the node checks each dependent registered for the
+  item.  Checks are instantaneous bookkeeping; a *forwarded* copy costs
+  ``comp_delay`` of serialised server time at the node (the paper's
+  12.5 ms covers the check plus preparing the transmission) before it
+  leaves, then travels the precomputed end-to-end network delay.
+- The per-node serialisation is what makes a node with many dependents a
+  bottleneck -- the mechanism behind the U-curve's rising arm and the
+  no-cooperation saturation of Figures 5/6.
+"""
+
+from __future__ import annotations
+
+from repro.core.dissemination import DisseminationPolicy, make_policy
+from repro.core.fidelity import FidelityAccumulator, loss_of_fidelity
+from repro.core.metrics import CostCounters
+from repro.engine.builder import SimulationSetup, build_setup
+from repro.engine.config import SimulationConfig
+from repro.engine.results import SimulationResult
+from repro.sim.kernel import Simulator
+from repro.sim.queueing import FifoStation
+from repro.sim.rng import RandomStreams
+
+__all__ = ["DisseminationSimulation", "run_simulation"]
+
+
+class DisseminationSimulation:
+    """Drives one dissemination policy over one built setup."""
+
+    def __init__(self, setup: SimulationSetup, policy: DisseminationPolicy | None = None):
+        self.setup = setup
+        self.policy = policy if policy is not None else make_policy(setup.config.policy)
+        self.kernel = Simulator()
+        self.counters = CostCounters()
+        self._comp_delay_s = setup.config.comp_delay_ms / 1000.0
+        self._source = setup.source
+        self._loss_probability = setup.config.message_loss_probability
+        self._loss_rng = (
+            RandomStreams(setup.config.seed).stream("message-loss")
+            if self._loss_probability > 0.0
+            else None
+        )
+        self._stations: dict[int, FifoStation] = {}
+        # Per (node, item): list of (child, c_serve); precomputed for speed.
+        self._children: dict[tuple[int, int], list[tuple[int, float]]] = {}
+        self._receive_c: dict[tuple[int, int], float] = {}
+        # Per (repo, item): delivery log [(time, value), ...].
+        self._deliveries: dict[tuple[int, int], list[tuple[float, float]]] = {}
+        self._prepare()
+
+    # ------------------------------------------------------------------
+
+    def _graphs(self):
+        """(graph, root, item ids) triples to wire up.
+
+        The single-source engine serves every item from one graph; the
+        multi-source extension overrides this with one triple per source.
+        """
+        return [(self.setup.graph, self._source, list(self.setup.traces))]
+
+    def _prepare(self) -> None:
+        self._root_of: dict[int, int] = {}
+        for graph, root, item_ids in self._graphs():
+            for node in graph.nodes:
+                if node not in self._stations:
+                    self._stations[node] = FifoStation(name=f"node{node}")
+            for item_id in item_ids:
+                self._root_of[item_id] = root
+                initial = self.setup.traces[item_id].initial_value
+                for node in graph.nodes:
+                    children = graph.children_for_item(node, item_id)
+                    if children:
+                        self._children[(node, item_id)] = children
+                        for child, c_serve in children:
+                            self.policy.register_edge(
+                                node, child, item_id, c_serve, initial
+                            )
+                    if node != root:
+                        state = graph.nodes[node]
+                        if item_id in state.receive_c:
+                            self._receive_c[(node, item_id)] = state.receive_c[item_id]
+                            self._deliveries[(node, item_id)] = [(0.0, initial)]
+
+    # ------------------------------------------------------------------
+
+    def _on_source_update(self, item_id: int, value: float) -> None:
+        root = self._root_of[item_id]
+        decision = self.policy.at_source(item_id, value)
+        if decision.checks:
+            self.counters.record_check(root, is_source=True, count=decision.checks)
+        if not decision.disseminate:
+            return
+        self._process_at_node(root, item_id, value, decision.tag)
+
+    def _on_delivery(self, node: int, item_id: int, value: float, tag) -> None:
+        self.counters.record_delivery()
+        log = self._deliveries.get((node, item_id))
+        if log is not None:
+            log.append((self.kernel.now, value))
+        self._process_at_node(node, item_id, value, tag)
+
+    def _process_at_node(self, node: int, item_id: int, value: float, tag) -> None:
+        children = self._children.get((node, item_id))
+        if not children:
+            return
+        now = self.kernel.now
+        is_source = node == self._root_of[item_id]
+        parent_receive_c = 0.0 if is_source else self._receive_c[(node, item_id)]
+        station = self._stations[node]
+        for child, _c_serve in children:
+            decision = self.policy.decide(
+                node, child, item_id, value, parent_receive_c, tag
+            )
+            self.counters.record_check(node, is_source=is_source, count=decision.checks)
+            if not decision.forward:
+                continue
+            departure = station.submit(now, self._comp_delay_s)
+            arrival = departure + self.setup.network.delay_s(node, child)
+            self.counters.record_message(node, is_source=is_source)
+            if (
+                self._loss_rng is not None
+                and self._loss_rng.random() < self._loss_probability
+            ):
+                # Failure injection: the sender paid for the message but
+                # the network ate it; the child stays stale until the
+                # next update for it is forwarded.
+                self.counters.record_drop()
+                continue
+            self.kernel.schedule_at(arrival, self._on_delivery, child, item_id, value, tag)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Schedule all trace updates, run to quiescence, score fidelity."""
+        span = 0.0
+        for item_id, trace in self.setup.traces.items():
+            changes = trace.changes()
+            span = max(span, trace.span)
+            # Index 0 is the priming value everyone already holds.
+            for t, v in zip(changes.times[1:], changes.values[1:]):
+                self.kernel.schedule_at(
+                    float(t), self._on_source_update, item_id, float(v)
+                )
+        self.kernel.run()
+        return self._score(span)
+
+    def _score(self, span: float) -> SimulationResult:
+        accumulator = FidelityAccumulator()
+        per_pair: dict[tuple[int, int], float] = {}
+        for repo, profile in self.setup.profiles.items():
+            for item_id, c_own in profile.requirements.items():
+                trace = self.setup.traces[item_id]
+                log = self._deliveries.get((repo, item_id))
+                if log is None:
+                    # Never wired for the item (cannot happen after LeLA
+                    # validation, but fail loud rather than silently).
+                    raise RuntimeError(
+                        f"repository {repo} has no delivery log for item {item_id}"
+                    )
+                recv_times = [entry[0] for entry in log]
+                recv_values = [entry[1] for entry in log]
+                loss = loss_of_fidelity(
+                    trace.times,
+                    trace.values,
+                    recv_times,
+                    recv_values,
+                    c_own,
+                    t_start=float(trace.times[0]),
+                    t_end=float(trace.times[-1]),
+                )
+                accumulator.add(repo, item_id, loss)
+                per_pair[(repo, item_id)] = loss
+        return SimulationResult(
+            loss_of_fidelity=accumulator.system_loss(),
+            per_repository_loss=accumulator.per_repository(),
+            counters=self.counters,
+            tree_stats=self.setup.graph.stats(),
+            effective_degree=self.setup.effective_degree,
+            avg_comm_delay_ms=self.setup.avg_comm_delay_ms,
+            events_processed=self.kernel.events_processed,
+            sim_span_s=span,
+            extras={"per_pair_loss": per_pair},
+        )
+
+    def delivery_log(self, repo: int, item_id: int) -> list[tuple[float, float]]:
+        """The (time, value) receive log for one repository/item pair."""
+        return list(self._deliveries.get((repo, item_id), []))
+
+
+def run_simulation(
+    config: SimulationConfig,
+    setup: SimulationSetup | None = None,
+    base: SimulationSetup | None = None,
+) -> SimulationResult:
+    """Build (or reuse) a setup and run one simulation end to end.
+
+    Args:
+        config: The run's full parameterisation.
+        setup: Optional prebuilt setup for exactly this config; used as
+            is, without rebuilding anything.
+        base: Optional setup from an earlier config in a sweep; pieces
+            unaffected by the config delta (network, traces, interests)
+            are recycled from it.
+    """
+    if setup is None:
+        setup = build_setup(config, base=base)
+    return DisseminationSimulation(setup).run()

@@ -1,0 +1,21 @@
+"""Experiment harness: one module per table/figure in the paper.
+
+Every module exposes ``run(preset=..., **overrides) -> ExperimentResult``
+returning the same rows/series the paper plots, and a ``main()`` that
+prints them as an ASCII table.  DESIGN.md §3 maps each experiment id to
+its module; EXPERIMENTS.md records paper-vs-measured numbers.
+
+Run everything from the command line::
+
+    python -m repro.experiments.run_all --preset small
+"""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    Series,
+    format_result,
+    report,
+    sweep,
+)
+
+__all__ = ["ExperimentResult", "Series", "format_result", "report", "sweep"]

@@ -1,0 +1,84 @@
+"""Terminal line charts for experiment results.
+
+The paper's figures are line plots; this renders an
+:class:`~repro.experiments.runner.ExperimentResult` as a fixed-size
+character grid so the U-curves and L-curves are *visible* in a terminal
+or CI log, without a plotting dependency.  Each series is drawn with its
+own glyph; a legend maps glyphs to labels.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["render"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int) -> int:
+    """Map ``value`` in [lo, hi] onto 0..steps-1."""
+    if hi <= lo:
+        return 0
+    ratio = (value - lo) / (hi - lo)
+    idx = int(round(ratio * (steps - 1)))
+    return min(max(idx, 0), steps - 1)
+
+
+def render(result: ExperimentResult, width: int = 64, height: int = 16) -> str:
+    """Render every series of ``result`` into one character chart.
+
+    Args:
+        result: The experiment's series (all aligned to ``result.xs``).
+        width: Chart columns (excluding the y-axis gutter).
+        height: Chart rows.
+
+    Raises:
+        ConfigurationError: on an empty result or undersized canvas.
+    """
+    if not result.series or not result.xs:
+        raise ConfigurationError("cannot render an empty result")
+    if width < 8 or height < 4:
+        raise ConfigurationError(f"canvas too small: {width}x{height}")
+    if len(result.series) > len(_GLYPHS):
+        raise ConfigurationError(
+            f"at most {len(_GLYPHS)} series supported, got {len(result.series)}"
+        )
+
+    xs = result.xs
+    x_lo, x_hi = min(xs), max(xs)
+    all_ys = [y for s in result.series for y in s.ys]
+    y_lo, y_hi = min(all_ys), max(all_ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, series in zip(_GLYPHS, result.series):
+        for x, y in zip(xs, series.ys):
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][col] = glyph
+
+    gutter = max(len(f"{y_hi:.3g}"), len(f"{y_lo:.3g}"))
+    lines = [f"{result.name}  [y: {result.ylabel}]"]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:.3g}"
+        elif i == height - 1:
+            label = f"{y_lo:.3g}"
+        else:
+            label = ""
+        lines.append(f"{label:>{gutter}} |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+    lines.append(
+        " " * gutter
+        + f"  {x_lo:<.4g}"
+        + " " * max(1, width - len(f"{x_lo:<.4g}") - len(f"{x_hi:.4g}") - 2)
+        + f"{x_hi:.4g}  ({result.xlabel})"
+    )
+    legend = "   ".join(
+        f"{glyph}={series.label}" for glyph, series in zip(_GLYPHS, result.series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Figure 10: sensitivity to the preference function (P1 vs. P2).
+
+P1 is the paper's preference factor (communication delay x load proxy /
+data availability); P2 drops the availability term.  The paper's
+finding: the choice has little impact at small degrees, and once the
+degree of cooperation is controlled (the ``W`` curves) the two are
+indistinguishable (< ~1% apart) -- the degree of cooperation is the
+first-order knob, LeLA's internals are second-order.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure3 import default_degrees
+from repro.experiments.runner import ExperimentResult, Series, preset_config, report, sweep
+
+__all__ = ["run", "main"]
+
+
+def run(
+    preset: str = "small",
+    degrees: list[int] | None = None,
+    t_percent: float = 80.0,
+    policy: str = "centralized",
+    **overrides,
+) -> ExperimentResult:
+    """Sweep degree for P1/P2, plain and controlled."""
+    base = preset_config(preset, t_percent=t_percent, **overrides)
+    if degrees is None:
+        degrees = default_degrees(base.n_repositories)
+    result = ExperimentResult(
+        name="Figure 10: effect of different preference functions",
+        xlabel="degree of cooperation",
+        ylabel="loss of fidelity (%)",
+        xs=[float(d) for d in degrees],
+    )
+    for controlled, suffix in ((False, ""), (True, "W")):
+        for pref in ("p1", "p2"):
+            configs = [
+                base.with_(
+                    preference=pref,
+                    offered_degree=d,
+                    policy=policy,
+                    controlled_cooperation=controlled,
+                )
+                for d in degrees
+            ]
+            losses, _ = sweep(configs)
+            result.series.append(
+                Series(label=f"{pref.upper()}{suffix}", ys=losses)
+            )
+    return result
+
+
+def main(preset: str = "small", **overrides) -> str:
+    text = report(run(preset=preset, **overrides))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Figure 3: loss of fidelity vs. degree of cooperation (the U-curve).
+
+Seven T values; the degree of cooperation offered by every node swept
+from 1 (the d3t degenerates to a chain) to the repository count (the
+source serves everyone directly).  The paper uses the source-based
+(centralised) dissemination algorithm as the baseline here.
+
+Expected shape: U for stringent mixes -- communication delays dominate on
+the left, computational (queueing) delays on the right -- flattening to
+zero as T drops.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult, Series, preset_config, report, sweep
+
+__all__ = ["DEFAULT_T_VALUES", "default_degrees", "run", "main"]
+
+#: The paper's seven coherency-stringency mixes.
+DEFAULT_T_VALUES: tuple[float, ...] = (100.0, 90.0, 80.0, 70.0, 50.0, 20.0, 0.0)
+
+
+def default_degrees(n_repositories: int) -> list[int]:
+    """A log-ish sweep from a chain to full fan-out."""
+    candidates = [1, 2, 3, 5, 8, 12, 20, 35, 60, 100]
+    degrees = [d for d in candidates if d < n_repositories]
+    degrees.append(n_repositories)
+    return degrees
+
+
+def run(
+    preset: str = "small",
+    t_values: tuple[float, ...] = DEFAULT_T_VALUES,
+    degrees: list[int] | None = None,
+    policy: str = "centralized",
+    **overrides,
+) -> ExperimentResult:
+    """Sweep (T, degree) and collect system loss of fidelity."""
+    base = preset_config(preset, **overrides)
+    if degrees is None:
+        degrees = default_degrees(base.n_repositories)
+    result = ExperimentResult(
+        name="Figure 3: need for limiting cooperation",
+        xlabel="degree of cooperation",
+        ylabel="loss of fidelity (%)",
+        xs=[float(d) for d in degrees],
+    )
+    for t in t_values:
+        configs = [
+            base.with_(t_percent=t, offered_degree=d, policy=policy,
+                       controlled_cooperation=False)
+            for d in degrees
+        ]
+        losses, _ = sweep(configs)
+        result.series.append(Series(label=f"T={t:.0f}", ys=losses))
+    return result
+
+
+def main(preset: str = "small", **overrides) -> str:
+    text = report(run(preset=preset, **overrides))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

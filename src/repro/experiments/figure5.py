@@ -1,0 +1,61 @@
+"""Figure 5: no cooperation, varying communication delays.
+
+The source serves every repository directly (degree of cooperation =
+repository count).  The mean repository-to-repository delay is swept from
+0 to 125 ms.  The paper's finding: fidelity barely reacts to the
+communication delay because the loss is dominated by the computational
+queueing that piles up at the source -- cooperation is needed regardless
+of network speed.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure3 import DEFAULT_T_VALUES
+from repro.experiments.runner import ExperimentResult, Series, preset_config, report, sweep
+
+__all__ = ["DEFAULT_COMM_DELAYS", "run", "main"]
+
+#: The paper's x-axis: average node-to-node delay in milliseconds.
+DEFAULT_COMM_DELAYS: tuple[float, ...] = (0.0, 25.0, 50.0, 75.0, 100.0, 125.0)
+
+
+def run(
+    preset: str = "small",
+    t_values: tuple[float, ...] = DEFAULT_T_VALUES,
+    comm_delays_ms: tuple[float, ...] = DEFAULT_COMM_DELAYS,
+    policy: str = "centralized",
+    **overrides,
+) -> ExperimentResult:
+    """Sweep (T, mean comm delay) with the source serving everyone."""
+    base = preset_config(preset, **overrides)
+    no_coop_degree = base.n_repositories
+    result = ExperimentResult(
+        name="Figure 5: no cooperation, varying communication delays",
+        xlabel="mean comm delay (ms)",
+        ylabel="loss of fidelity (%)",
+        xs=list(comm_delays_ms),
+    )
+    for t in t_values:
+        configs = [
+            base.with_(
+                t_percent=t,
+                offered_degree=no_coop_degree,
+                comm_target_ms=delay,
+                policy=policy,
+                controlled_cooperation=False,
+            )
+            for delay in comm_delays_ms
+        ]
+        losses, _ = sweep(configs)
+        result.series.append(Series(label=f"T={t:.0f}", ys=losses))
+    return result
+
+
+def main(preset: str = "small", **overrides) -> str:
+    text = report(run(preset=preset, **overrides))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

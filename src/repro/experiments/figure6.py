@@ -1,0 +1,61 @@
+"""Figure 6: no cooperation, varying computational delays.
+
+The source serves every repository directly while the per-dependent
+computational delay sweeps 0..25 ms.  The paper's finding: loss of
+fidelity worsens steeply with computational delay -- the source
+saturates -- especially under stringent coherency mixes.  Together with
+Figure 5 this shows the source bottleneck is computational, motivating
+cooperation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure3 import DEFAULT_T_VALUES
+from repro.experiments.runner import ExperimentResult, Series, preset_config, report, sweep
+
+__all__ = ["DEFAULT_COMP_DELAYS", "run", "main"]
+
+#: The paper's x-axis: per-dependent computational delay in milliseconds.
+DEFAULT_COMP_DELAYS: tuple[float, ...] = (0.0, 5.0, 10.0, 15.0, 20.0, 25.0)
+
+
+def run(
+    preset: str = "small",
+    t_values: tuple[float, ...] = DEFAULT_T_VALUES,
+    comp_delays_ms: tuple[float, ...] = DEFAULT_COMP_DELAYS,
+    policy: str = "centralized",
+    **overrides,
+) -> ExperimentResult:
+    """Sweep (T, comp delay) with the source serving everyone."""
+    base = preset_config(preset, **overrides)
+    no_coop_degree = base.n_repositories
+    result = ExperimentResult(
+        name="Figure 6: no cooperation, varying computational delays",
+        xlabel="comp delay (ms)",
+        ylabel="loss of fidelity (%)",
+        xs=list(comp_delays_ms),
+    )
+    for t in t_values:
+        configs = [
+            base.with_(
+                t_percent=t,
+                offered_degree=no_coop_degree,
+                comp_delay_ms=delay,
+                policy=policy,
+                controlled_cooperation=False,
+            )
+            for delay in comp_delays_ms
+        ]
+        losses, _ = sweep(configs)
+        result.series.append(Series(label=f"T={t:.0f}", ys=losses))
+    return result
+
+
+def main(preset: str = "small", **overrides) -> str:
+    text = report(run(preset=preset, **overrides))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+"""Figure 7: performance with controlled cooperation.
+
+Three panels:
+
+- (a) the Figure 3 sweep repeated with Eq. (2) clamping each node's
+  degree of cooperation: the U-curve becomes an L -- offering more
+  cooperative resources beyond ``coopDegree`` neither helps nor hurts.
+- (b) communication-delay sweep with controlled cooperation: Eq. (2)
+  raises the degree as delays grow, keeping loss within a few percent
+  (contrast Figure 5).
+- (c) computational-delay sweep with controlled cooperation: Eq. (2)
+  lowers the degree as computation gets pricier, again keeping loss low
+  (contrast Figure 6).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure3 import DEFAULT_T_VALUES, default_degrees
+from repro.experiments.figure5 import DEFAULT_COMM_DELAYS
+from repro.experiments.figure6 import DEFAULT_COMP_DELAYS
+from repro.experiments.runner import ExperimentResult, Series, preset_config, report, sweep
+
+__all__ = ["run_base_case", "run_comm_sweep", "run_comp_sweep", "run", "main"]
+
+
+def run_base_case(
+    preset: str = "small",
+    t_values: tuple[float, ...] = DEFAULT_T_VALUES,
+    degrees: list[int] | None = None,
+    policy: str = "centralized",
+    **overrides,
+) -> ExperimentResult:
+    """Panel (a): offered-resources sweep under Eq. (2) clamping."""
+    base = preset_config(preset, **overrides)
+    if degrees is None:
+        degrees = default_degrees(base.n_repositories)
+    result = ExperimentResult(
+        name="Figure 7(a): controlled cooperation, base case",
+        xlabel="offered degree of cooperation",
+        ylabel="loss of fidelity (%)",
+        xs=[float(d) for d in degrees],
+    )
+    effective = None
+    for t in t_values:
+        configs = [
+            base.with_(t_percent=t, offered_degree=d, policy=policy,
+                       controlled_cooperation=True)
+            for d in degrees
+        ]
+        losses, runs = sweep(configs)
+        result.series.append(Series(label=f"T={t:.0f}", ys=losses))
+        effective = runs[-1].effective_degree
+    result.notes["coopDegree (Eq. 2 clamp at max offered)"] = effective
+    return result
+
+
+def run_comm_sweep(
+    preset: str = "small",
+    t_values: tuple[float, ...] = DEFAULT_T_VALUES,
+    comm_delays_ms: tuple[float, ...] = DEFAULT_COMM_DELAYS,
+    policy: str = "centralized",
+    **overrides,
+) -> ExperimentResult:
+    """Panel (b): comm-delay sweep, degree adapted by Eq. (2)."""
+    base = preset_config(preset, **overrides)
+    result = ExperimentResult(
+        name="Figure 7(b): controlled cooperation, varying communication delays",
+        xlabel="mean comm delay (ms)",
+        ylabel="loss of fidelity (%)",
+        xs=list(comm_delays_ms),
+    )
+    degrees_used: list[int] = []
+    for t in t_values:
+        configs = [
+            base.with_(
+                t_percent=t,
+                offered_degree=base.n_repositories,
+                comm_target_ms=delay,
+                policy=policy,
+                controlled_cooperation=True,
+            )
+            for delay in comm_delays_ms
+        ]
+        losses, runs = sweep(configs)
+        result.series.append(Series(label=f"T={t:.0f}", ys=losses))
+        degrees_used = [r.effective_degree for r in runs]
+    result.notes["Eq. (2) degrees along the sweep"] = degrees_used
+    return result
+
+
+def run_comp_sweep(
+    preset: str = "small",
+    t_values: tuple[float, ...] = DEFAULT_T_VALUES,
+    comp_delays_ms: tuple[float, ...] = DEFAULT_COMP_DELAYS,
+    policy: str = "centralized",
+    **overrides,
+) -> ExperimentResult:
+    """Panel (c): comp-delay sweep, degree adapted by Eq. (2)."""
+    base = preset_config(preset, **overrides)
+    result = ExperimentResult(
+        name="Figure 7(c): controlled cooperation, varying computational delays",
+        xlabel="comp delay (ms)",
+        ylabel="loss of fidelity (%)",
+        xs=list(comp_delays_ms),
+    )
+    degrees_used: list[int] = []
+    for t in t_values:
+        configs = [
+            base.with_(
+                t_percent=t,
+                offered_degree=base.n_repositories,
+                comp_delay_ms=delay,
+                policy=policy,
+                controlled_cooperation=True,
+            )
+            for delay in comp_delays_ms
+        ]
+        losses, runs = sweep(configs)
+        result.series.append(Series(label=f"T={t:.0f}", ys=losses))
+        degrees_used = [r.effective_degree for r in runs]
+    result.notes["Eq. (2) degrees along the sweep"] = degrees_used
+    return result
+
+
+def run(preset: str = "small", **overrides) -> list[ExperimentResult]:
+    """All three panels."""
+    return [
+        run_base_case(preset=preset, **overrides),
+        run_comm_sweep(preset=preset, **overrides),
+        run_comp_sweep(preset=preset, **overrides),
+    ]
+
+
+def main(preset: str = "small", **overrides) -> str:
+    texts = [report(r) for r in run(preset=preset, **overrides)]
+    text = "\n\n".join(texts)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Figure 9: sensitivity to the load controller's P% admission band.
+
+LeLA admits as parents every candidate whose preference factor is within
+P% of the level minimum.  The paper sweeps P over {1, 5, 10, 25} with
+unlimited cooperation (plain curves) and with controlled cooperation
+(the ``W`` curves):
+
+- tiny P concentrates all service on one parent per level (overload);
+- huge P splits a child across many parents, burning push connections
+  and deepening the tree;
+- once the degree of cooperation is controlled, P stops mattering.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure3 import default_degrees
+from repro.experiments.runner import ExperimentResult, Series, preset_config, report, sweep
+
+__all__ = ["DEFAULT_P_VALUES", "run", "main"]
+
+#: The paper's P% values.
+DEFAULT_P_VALUES: tuple[float, ...] = (1.0, 5.0, 10.0, 25.0)
+
+
+def run(
+    preset: str = "small",
+    p_values: tuple[float, ...] = DEFAULT_P_VALUES,
+    degrees: list[int] | None = None,
+    t_percent: float = 80.0,
+    policy: str = "centralized",
+    **overrides,
+) -> ExperimentResult:
+    """Sweep (P%, degree), with and without controlled cooperation."""
+    base = preset_config(preset, t_percent=t_percent, **overrides)
+    if degrees is None:
+        degrees = default_degrees(base.n_repositories)
+    result = ExperimentResult(
+        name="Figure 9: effect of different P% values",
+        xlabel="degree of cooperation",
+        ylabel="loss of fidelity (%)",
+        xs=[float(d) for d in degrees],
+    )
+    for controlled, suffix in ((False, ""), (True, "W")):
+        for p in p_values:
+            configs = [
+                base.with_(
+                    p_percent=p,
+                    offered_degree=d,
+                    policy=policy,
+                    controlled_cooperation=controlled,
+                )
+                for d in degrees
+            ]
+            losses, _ = sweep(configs)
+            result.series.append(Series(label=f"P={p:.0f}{suffix}", ys=losses))
+    return result
+
+
+def main(preset: str = "small", **overrides) -> str:
+    text = report(run(preset=preset, **overrides))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Extension experiment: the push-pull threshold trade-off.
+
+Sweeps the stringency boundary between the push plane and the pull
+plane.  A threshold of 0+ sends everything to pull (cheap parents, poor
+fidelity); a huge threshold is pure cooperative push (best fidelity,
+per-dependent state everywhere).  The interesting region is the paper's
+own stringent/lax boundary ($0.1): stringent subscriptions genuinely
+need push, lax ones barely notice pull staleness.
+"""
+
+from __future__ import annotations
+
+from repro.engine.builder import build_setup
+from repro.engine.hybrid import run_hybrid_simulation
+from repro.experiments.runner import ExperimentResult, Series, preset_config, report
+
+__all__ = ["DEFAULT_THRESHOLDS", "run", "main"]
+
+#: Threshold sweep across the paper's tolerance bands.
+DEFAULT_THRESHOLDS: tuple[float, ...] = (0.005, 0.05, 0.1, 0.5, 1.0)
+
+
+def run(
+    preset: str = "small",
+    thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS,
+    t_percent: float = 50.0,
+    **overrides,
+) -> ExperimentResult:
+    """Sweep the push/pull threshold over one shared workload."""
+    config = preset_config(
+        preset,
+        t_percent=t_percent,
+        policy="distributed",
+        controlled_cooperation=True,
+        **overrides,
+    )
+    setup = build_setup(config)
+    losses: list[float] = []
+    messages: list[float] = []
+    push_shares: list[float] = []
+    for threshold in thresholds:
+        result = run_hybrid_simulation(config, threshold_c=threshold, base=setup)
+        losses.append(result.loss_of_fidelity)
+        messages.append(float(result.messages))
+        total = result.push_pairs + result.pull_pairs
+        push_shares.append(100.0 * result.push_pairs / total if total else 0.0)
+    out = ExperimentResult(
+        name="Extension: push-pull hybrid threshold trade-off",
+        xlabel="push threshold c ($)",
+        ylabel="loss of fidelity (%) / traffic",
+        xs=list(thresholds),
+    )
+    out.series.append(Series(label="loss %", ys=losses))
+    out.series.append(Series(label="push share %", ys=push_shares))
+    out.notes["messages along the sweep"] = [int(m) for m in messages]
+    return out
+
+
+def main(preset: str = "small", **overrides) -> str:
+    text = report(run(preset=preset, **overrides))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

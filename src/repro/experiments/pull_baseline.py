@@ -1,0 +1,103 @@
+"""Extension experiment: push vs. pull (fixed and adaptive TTR).
+
+The paper's Section 8 names pull-based and adaptive mechanisms as the
+natural comparison points for its push architecture.  This experiment
+runs them on the identical workload:
+
+- cooperative push (distributed policy, controlled cooperation),
+- direct pull with fixed TTRs,
+- direct pull with adaptive TTR.
+
+Expected outcome: short fixed TTRs approach push fidelity but flood the
+source with poll traffic; long TTRs are cheap but stale; adaptive TTR
+sits between; cooperative push dominates the fidelity-per-message
+trade-off because repositories share the dissemination work.
+"""
+
+from __future__ import annotations
+
+from repro.engine.builder import build_setup
+from repro.engine.pull import TtrConfig, run_pull_simulation
+from repro.engine.simulation import run_simulation
+from repro.experiments.runner import ExperimentResult, Series, format_result, preset_config
+
+__all__ = ["DEFAULT_TTRS", "run", "main"]
+
+#: Fixed TTRs to sweep, in seconds.
+DEFAULT_TTRS: tuple[float, ...] = (2.0, 10.0, 30.0)
+
+
+def run(
+    preset: str = "small",
+    t_percent: float = 80.0,
+    ttrs_s: tuple[float, ...] = DEFAULT_TTRS,
+    **overrides,
+) -> ExperimentResult:
+    """Run push and the pull family over one shared setup."""
+    config = preset_config(
+        preset,
+        t_percent=t_percent,
+        policy="distributed",
+        controlled_cooperation=True,
+        **overrides,
+    )
+    setup = build_setup(config)
+
+    labels: list[str] = []
+    losses: list[float] = []
+    messages: list[float] = []
+
+    push = run_simulation(config, setup=setup)
+    labels.append("push (coop)")
+    losses.append(push.loss_of_fidelity)
+    messages.append(float(push.messages))
+
+    for ttr in ttrs_s:
+        result = run_pull_simulation(setup, TtrConfig(mode="fixed", ttr_s=ttr))
+        labels.append(f"pull ttr={ttr:g}s")
+        losses.append(result.loss_of_fidelity)
+        messages.append(float(result.messages))
+
+    adaptive = run_pull_simulation(
+        setup,
+        TtrConfig(
+            mode="adaptive",
+            ttr_s=10.0,
+            ttr_min_s=1.0,
+            ttr_max_s=60.0,
+        ),
+    )
+    labels.append("pull adaptive")
+    losses.append(adaptive.loss_of_fidelity)
+    messages.append(float(adaptive.messages))
+
+    result = ExperimentResult(
+        name="Extension: push vs. pull (fixed / adaptive TTR)",
+        xlabel="system",
+        ylabel="loss of fidelity (%) / messages",
+        xs=list(range(len(labels))),
+        series=[
+            Series(label="loss %", ys=losses),
+            Series(label="messages", ys=messages),
+        ],
+        notes={"systems": labels},
+    )
+    return result
+
+
+def main(preset: str = "small", **overrides) -> str:
+    result = run(preset=preset, **overrides)
+    lines = [f"== {result.name} ==",
+             f"{'system':<16} {'loss %':>8} {'messages':>10}"]
+    lines.append("-" * 38)
+    for i, label in enumerate(result.notes["systems"]):
+        loss = result.series_by_label("loss %").ys[i]
+        msgs = result.series_by_label("messages").ys[i]
+        lines.append(f"{label:<16} {loss:>8.2f} {msgs:>10.0f}")
+    text = "\n".join(lines)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

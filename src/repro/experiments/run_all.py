@@ -1,0 +1,73 @@
+"""Run every experiment and print the paper-shaped outputs.
+
+Usage::
+
+    python -m repro.experiments.run_all --preset small
+    python -m repro.experiments.run_all --preset tiny --only figure3 figure11
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    figure3,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    hybrid_tradeoff,
+    pull_baseline,
+    scalability,
+    sensitivity,
+    table1,
+)
+
+__all__ = ["EXPERIMENTS", "main"]
+
+EXPERIMENTS = {
+    "table1": lambda preset: table1.main(),
+    "figure3": lambda preset: figure3.main(preset=preset),
+    "figure5": lambda preset: figure5.main(preset=preset),
+    "figure6": lambda preset: figure6.main(preset=preset),
+    "figure7": lambda preset: figure7.main(preset=preset),
+    "figure8": lambda preset: figure8.main(preset=preset),
+    "figure9": lambda preset: figure9.main(preset=preset),
+    "figure10": lambda preset: figure10.main(preset=preset),
+    "figure11": lambda preset: figure11.main(preset=preset),
+    "scalability": lambda preset: scalability.main(preset=preset),
+    "sensitivity": lambda preset: sensitivity.main(preset=preset),
+    "pull_baseline": lambda preset: pull_baseline.main(preset=preset),
+    "hybrid_tradeoff": lambda preset: hybrid_tradeoff.main(preset=preset),
+}
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="small", help="tiny | small | paper")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help=f"subset of experiments to run (choices: {sorted(EXPERIMENTS)})",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.only if args.only else list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    for name in names:
+        start = time.time()
+        print(f"\n{'=' * 72}\nRunning {name} (preset={args.preset})\n{'=' * 72}")
+        EXPERIMENTS[name](args.preset)
+        print(f"[{name} done in {time.time() - start:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,159 @@
+"""The network facade the dissemination engine queries.
+
+The engine never routes per hop: a message from ``u`` to ``v`` simply
+arrives after the precomputed minimal-path end-to-end delay, as in the
+paper's simulation.  :class:`NetworkModel` bundles the topology and the
+routing tables and answers delay/hop queries between *logical* nodes
+(the source and the repositories).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.network.delays import ParetoDelayModel
+from repro.network.routing import RoutingTables, build_routing
+from repro.network.topology import Topology, generate_topology
+
+__all__ = ["NetworkModel", "build_network"]
+
+
+@dataclass
+class NetworkModel:
+    """End-to-end view of the physical network.
+
+    Attributes:
+        topology: The underlying random physical graph.
+        routing: Dense all-pairs routing tables over that graph.
+    """
+
+    topology: Topology
+    routing: RoutingTables
+
+    @property
+    def source(self) -> int:
+        """Node id of the data source."""
+        return self.topology.source
+
+    @property
+    def repository_ids(self) -> np.ndarray:
+        """Node ids of all repositories."""
+        return self.topology.repository_ids
+
+    def delay_s(self, u: int, v: int) -> float:
+        """End-to-end delay between nodes ``u`` and ``v`` in **seconds**."""
+        return float(self.routing.dist_ms[u, v]) / 1000.0
+
+    def delay_ms(self, u: int, v: int) -> float:
+        """End-to-end delay between nodes ``u`` and ``v`` in milliseconds."""
+        return float(self.routing.dist_ms[u, v])
+
+    def hops(self, u: int, v: int) -> int:
+        """Hop count along the minimal-delay path between ``u`` and ``v``."""
+        return int(self.routing.hops[u, v])
+
+    def mean_repo_delay_ms(self) -> float:
+        """Average end-to-end delay between distinct logical nodes.
+
+        This is the ``avg communication delay`` input to the paper's
+        Eq. (2): the expected delay of one dissemination hop between a
+        repository (or the source) and another repository.
+        """
+        ids = np.concatenate(([self.source], self.repository_ids))
+        sub = self.routing.dist_ms[np.ix_(ids, ids)]
+        n = len(ids)
+        if n < 2:
+            return 0.0
+        mask = ~np.eye(n, dtype=bool)
+        return float(sub[mask].mean())
+
+    def mean_repo_hops(self) -> float:
+        """Average hop count between distinct logical nodes."""
+        ids = np.concatenate(([self.source], self.repository_ids))
+        sub = self.routing.hops[np.ix_(ids, ids)]
+        n = len(ids)
+        if n < 2:
+            return 0.0
+        mask = ~np.eye(n, dtype=bool)
+        return float(sub[mask].mean())
+
+    def scaled_delays(self, mean_ms: float) -> "NetworkModel":
+        """Return a copy with all link delays rescaled to a new mean.
+
+        Keeps the topology and relative link costs fixed so that delay
+        sweeps (Figures 5, 7b) vary exactly one thing.  A zero or negative
+        target collapses every delay to zero (the idealised-network case
+        used by the fidelity theorems).  Uniform scaling preserves
+        shortest paths, so the routing tables are rescaled in place
+        rather than recomputed.
+        """
+        current_mean = float(self.topology.delays_ms.mean())
+        if mean_ms <= 0.0 or current_mean <= 0.0:
+            factor = 0.0
+        else:
+            factor = mean_ms / current_mean
+        return self._uniformly_scaled(factor)
+
+    def with_repo_mean_delay(self, target_ms: float) -> "NetworkModel":
+        """Rescale so the *repository-to-repository* mean delay hits a target.
+
+        This is the x-axis of the paper's communication-delay sweeps
+        (Figures 5 and 7b): the average end-to-end delay of one
+        dissemination hop.
+        """
+        current = self.mean_repo_delay_ms()
+        if target_ms <= 0.0 or current <= 0.0:
+            return self._uniformly_scaled(0.0)
+        return self._uniformly_scaled(target_ms / current)
+
+    def _uniformly_scaled(self, factor: float) -> "NetworkModel":
+        topo = Topology(
+            n_repositories=self.topology.n_repositories,
+            n_routers=self.topology.n_routers,
+            edges=self.topology.edges.copy(),
+            delays_ms=self.topology.delays_ms * factor,
+        )
+        routing = RoutingTables(
+            dist_ms=self.routing.dist_ms * factor,
+            hops=self.routing.hops.copy(),
+            next_hop=self.routing.next_hop.copy(),
+        )
+        return NetworkModel(topology=topo, routing=routing)
+
+
+def build_network(
+    n_repositories: int,
+    n_routers: int,
+    rng: np.random.Generator,
+    delay_model: ParetoDelayModel | None = None,
+    avg_degree: float = 3.0,
+) -> NetworkModel:
+    """Generate a topology and its routing tables in one call.
+
+    Args:
+        n_repositories: Repository count (paper base case: 100).
+        n_routers: Router count (paper base case: 600).
+        rng: Random stream for structure and link delays.
+        delay_model: Link-delay distribution; defaults to the paper's
+            Pareto(mean 15 ms, min 2 ms).
+        avg_degree: Target average node degree of the physical mesh.
+
+    Raises:
+        TopologyError: if generation fails or the graph is disconnected.
+    """
+    if delay_model is None:
+        delay_model = ParetoDelayModel()
+    topology = generate_topology(
+        n_repositories=n_repositories,
+        n_routers=n_routers,
+        rng=rng,
+        delay_model=delay_model,
+        avg_degree=avg_degree,
+    )
+    routing = build_routing(topology)
+    if not np.isfinite(routing.dist_ms).all():
+        raise TopologyError("generated network is disconnected")
+    return NetworkModel(topology=topology, routing=routing)

@@ -1,0 +1,26 @@
+"""Discrete-event simulation kernel.
+
+This subpackage is the substrate every experiment in the reproduction
+runs on.  It provides:
+
+- :mod:`repro.sim.events` -- a stable, heap-backed event queue.
+- :mod:`repro.sim.kernel` -- the :class:`~repro.sim.kernel.Simulator`
+  driving callbacks in simulated-time order.
+- :mod:`repro.sim.queueing` -- single-server FIFO stations used to model
+  the serialised per-dependent computational delay at repositories.
+- :mod:`repro.sim.rng` -- seeded, named random streams so every
+  experiment is reproducible.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.queueing import FifoStation
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "FifoStation",
+    "RandomStreams",
+]

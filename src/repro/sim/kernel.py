@@ -1,0 +1,116 @@
+"""The discrete-event simulator.
+
+A :class:`Simulator` owns a clock and an :class:`~repro.sim.events.EventQueue`
+and runs callbacks in simulated-time order.  It is deliberately minimal:
+the dissemination engine in :mod:`repro.engine.simulation` schedules plain
+callbacks rather than using coroutine processes, which keeps the hot loop
+fast enough for the paper-scale experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Runs events in non-decreasing simulated-time order.
+
+    The clock only moves when events fire; it never runs backwards.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of live events still scheduled."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now.
+
+        Raises:
+            SimulationError: if ``delay`` is negative or NaN.
+        """
+        if delay != delay or delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay!r}")
+        return self._queue.push(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is in the simulated past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}: clock is already at {self._now!r}"
+            )
+        return self._queue.push(time, callback, *args)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (idempotent)."""
+        self._queue.cancel(event)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run events until the queue drains, ``until`` passes, or a budget.
+
+        Args:
+            until: Stop (with the clock advanced to ``until``) once the next
+                event would fire strictly after this time.
+            max_events: Optional hard cap on events executed by this call;
+                a guard against runaway schedules in tests.
+
+        Returns:
+            The number of events executed by this call.
+
+        Raises:
+            SimulationError: on re-entrant ``run`` calls.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if until is not None and next_time > until:
+                    self._now = max(self._now, until)
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                event.callback(*event.args)
+                executed += 1
+                self._events_processed += 1
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return executed
+
+    def reset(self) -> None:
+        """Clear all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._events_processed = 0

@@ -1,0 +1,95 @@
+"""Single-server FIFO stations.
+
+The paper charges a fixed *computational delay* (12.5 ms by default) for
+every (update, dependent) pair a node handles: the coherency check plus
+preparing the message for transmission (Section 6.1).  Because this work
+is serialised at a node, a repository with many dependents -- or the
+source serving everyone directly -- becomes a bottleneck.  That queueing
+is exactly what produces the rising arm of the paper's U-shaped
+fidelity-vs-cooperation curve (Figure 3) and the source saturation of
+Figures 5 and 6.
+
+:class:`FifoStation` models this with O(1) state: a ``busy_until``
+watermark.  Work submitted at time ``t`` starts at ``max(t, busy_until)``
+and completes ``service_time`` later.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["FifoStation"]
+
+
+class FifoStation:
+    """A single-server queue with deterministic service times.
+
+    The station does not hold callbacks; it is a pure time calculator.
+    Callers submit work and receive the completion time, then schedule
+    their own follow-up events on the kernel.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._busy_until = 0.0
+        self._jobs_served = 0
+        self._busy_time = 0.0
+
+    @property
+    def busy_until(self) -> float:
+        """Earliest time at which newly submitted work could start."""
+        return self._busy_until
+
+    @property
+    def jobs_served(self) -> int:
+        """Total jobs submitted to this station."""
+        return self._jobs_served
+
+    @property
+    def busy_time(self) -> float:
+        """Total server time consumed (sum of service times)."""
+        return self._busy_time
+
+    def submit(self, arrival: float, service_time: float) -> float:
+        """Enqueue one job and return its completion time.
+
+        Args:
+            arrival: Simulated time the job arrives at the station.
+            service_time: Server time the job consumes (seconds, >= 0).
+
+        Returns:
+            The simulated time at which the job finishes service.
+
+        Raises:
+            SimulationError: on negative arrival or service times.
+        """
+        if arrival < 0:
+            raise SimulationError(f"arrival must be non-negative, got {arrival!r}")
+        if service_time < 0:
+            raise SimulationError(
+                f"service_time must be non-negative, got {service_time!r}"
+            )
+        start = arrival if arrival > self._busy_until else self._busy_until
+        completion = start + service_time
+        self._busy_until = completion
+        self._jobs_served += 1
+        self._busy_time += service_time
+        return completion
+
+    def queue_delay(self, arrival: float) -> float:
+        """Waiting time a job arriving now would spend before service."""
+        backlog = self._busy_until - arrival
+        return backlog if backlog > 0 else 0.0
+
+    def utilisation(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` the server spent busy."""
+        if horizon <= 0:
+            return 0.0
+        ratio = self._busy_time / horizon
+        return ratio if ratio < 1.0 else 1.0
+
+    def reset(self) -> None:
+        """Forget all queueing state."""
+        self._busy_until = 0.0
+        self._jobs_served = 0
+        self._busy_time = 0.0

@@ -1,0 +1,50 @@
+"""Named, seeded random streams.
+
+Each subsystem (topology, delays, traces, interests, ...) draws from its
+own :class:`numpy.random.Generator`, derived deterministically from a
+single experiment seed and the stream name.  Changing how many numbers one
+subsystem consumes therefore never perturbs another subsystem -- runs stay
+reproducible and comparable across configurations, which matters when we
+sweep a parameter and want everything else held fixed.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """A factory of independent, deterministic random generators."""
+
+    def __init__(self, seed: int) -> None:
+        if not isinstance(seed, int):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self.seed = seed
+        self._cache: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        The same (seed, name) pair always yields an identically seeded
+        generator, and distinct names yield independent generators.
+        """
+        if name not in self._cache:
+            tag = zlib.crc32(name.encode("utf-8"))
+            self._cache[name] = np.random.default_rng(
+                np.random.SeedSequence([self.seed, tag])
+            )
+        return self._cache[name]
+
+    def spawn(self, name: str, index: int) -> np.random.Generator:
+        """Return an indexed generator, e.g. one stream per trace.
+
+        Distinct (name, index) pairs are independent of each other and of
+        plain :meth:`stream` streams.
+        """
+        tag = zlib.crc32(name.encode("utf-8"))
+        seq = np.random.SeedSequence(entropy=[self.seed, tag], spawn_key=(index,))
+        return np.random.default_rng(seq)

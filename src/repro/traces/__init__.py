@@ -1,0 +1,36 @@
+"""Dynamic-data trace substrate.
+
+The paper drives its evaluation with real stock-price traces polled from
+finance.yahoo.com in Jan/Feb 2002 (Table 1): roughly one value per second,
+10 000 values per trace.  Those traces are not available, so this
+subpackage synthesises statistically equivalent ones (see DESIGN.md §4):
+
+- :mod:`repro.traces.model` -- the :class:`~repro.traces.model.Trace`
+  container (timestamps + values).
+- :mod:`repro.traces.synthetic` -- mean-reverting, tick-rounded random
+  walks calibrated to a target price band.
+- :mod:`repro.traces.library` -- presets named after the paper's Table 1
+  tickers, with the paper's min/max bands.
+- :mod:`repro.traces.io` -- CSV round-tripping.
+- :mod:`repro.traces.stats` -- Table-1-style summaries.
+"""
+
+from repro.traces.io import read_trace_csv, write_trace_csv
+from repro.traces.library import PAPER_TICKERS, TickerSpec, make_paper_trace, make_trace_set
+from repro.traces.model import Trace
+from repro.traces.stats import TraceStats, summarize
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+__all__ = [
+    "Trace",
+    "SyntheticTraceConfig",
+    "generate_trace",
+    "PAPER_TICKERS",
+    "TickerSpec",
+    "make_paper_trace",
+    "make_trace_set",
+    "read_trace_csv",
+    "write_trace_csv",
+    "TraceStats",
+    "summarize",
+]

@@ -1,0 +1,70 @@
+"""CSV round-tripping for traces.
+
+The format is deliberately trivial -- a header line, then
+``time,value`` rows -- so users can feed in their own polled traces
+exactly as the paper did with Yahoo! data.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.traces.model import Trace
+
+__all__ = ["write_trace_csv", "read_trace_csv"]
+
+_HEADER = ("time_s", "value")
+
+
+def write_trace_csv(trace: Trace, path: str | Path) -> None:
+    """Write a trace to ``path`` as ``time_s,value`` CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for t, v in zip(trace.times, trace.values):
+            writer.writerow([repr(float(t)), repr(float(v))])
+
+
+def read_trace_csv(path: str | Path, name: str | None = None) -> Trace:
+    """Read a trace written by :func:`write_trace_csv` (or hand-made).
+
+    Args:
+        path: CSV file with a ``time_s,value`` header.
+        name: Item name; defaults to the file stem.
+
+    Raises:
+        TraceError: on a missing/invalid header or malformed rows.
+    """
+    path = Path(path)
+    times: list[float] = []
+    values: list[float] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise TraceError(f"{path} is empty") from None
+        if tuple(h.strip() for h in header) != _HEADER:
+            raise TraceError(
+                f"{path} has header {header!r}; expected {list(_HEADER)!r}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 2:
+                raise TraceError(f"{path}:{lineno}: expected 2 columns, got {len(row)}")
+            try:
+                times.append(float(row[0]))
+                values.append(float(row[1]))
+            except ValueError as exc:
+                raise TraceError(f"{path}:{lineno}: {exc}") from None
+    return Trace(
+        name=name if name is not None else path.stem,
+        times=np.asarray(times),
+        values=np.asarray(values),
+    )

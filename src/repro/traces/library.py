@@ -1,0 +1,123 @@
+"""Preset traces calibrated to the paper's Table 1.
+
+Table 1 lists six representative tickers with the min/max prices observed
+over 10 000 one-second polls in Jan/Feb 2002.  The real Yahoo! traces are
+unavailable, so each preset calibrates the synthetic generator to the
+ticker's price level and observed band (DESIGN.md §4, substitution 1).
+
+Volatility calibration: a mean-reverting walk with per-step std ``sigma``
+and reversion ``r`` has a stationary std of roughly ``sigma/sqrt(2r)``;
+over 10 000 samples its range is ~6 stationary stds.  We solve for
+``sigma`` from the Table 1 band.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traces.model import Trace
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+__all__ = ["TickerSpec", "PAPER_TICKERS", "make_paper_trace", "make_trace_set"]
+
+_RANGE_IN_STATIONARY_STDS = 6.0
+_DEFAULT_REVERSION = 0.05
+_DEFAULT_CHANGE_PROBABILITY = 0.6
+
+
+@dataclass(frozen=True)
+class TickerSpec:
+    """One Table 1 row: ticker symbol and its observed price band."""
+
+    ticker: str
+    min_price: float
+    max_price: float
+
+    def __post_init__(self) -> None:
+        if self.min_price <= 0 or self.max_price <= self.min_price:
+            raise ConfigurationError(
+                f"invalid band [{self.min_price!r}, {self.max_price!r}] "
+                f"for {self.ticker!r}"
+            )
+
+    @property
+    def mid_price(self) -> float:
+        return 0.5 * (self.min_price + self.max_price)
+
+    @property
+    def band(self) -> float:
+        return self.max_price - self.min_price
+
+
+#: The six tickers of the paper's Table 1, with the paper's min/max bands.
+PAPER_TICKERS: tuple[TickerSpec, ...] = (
+    TickerSpec("MSFT", 60.09, 60.85),
+    TickerSpec("SUNW", 10.60, 10.99),
+    TickerSpec("DELL", 27.16, 28.26),
+    TickerSpec("QCOM", 40.38, 41.23),
+    TickerSpec("INTC", 33.66, 34.239),
+    TickerSpec("ORCL", 16.51, 17.10),
+)
+
+
+def config_for_spec(spec: TickerSpec, n_samples: int = 10_000) -> SyntheticTraceConfig:
+    """Derive synthetic-generator parameters from a Table 1 band."""
+    stationary_std = spec.band / _RANGE_IN_STATIONARY_STDS
+    sigma = stationary_std * math.sqrt(2.0 * _DEFAULT_REVERSION)
+    return SyntheticTraceConfig(
+        n_samples=n_samples,
+        interval_s=1.0,
+        start_price=spec.mid_price,
+        volatility=max(sigma, 0.005),
+        reversion=_DEFAULT_REVERSION,
+        tick=0.01,
+        change_probability=_DEFAULT_CHANGE_PROBABILITY,
+    )
+
+
+def make_paper_trace(
+    spec: TickerSpec,
+    rng: np.random.Generator,
+    n_samples: int = 10_000,
+) -> Trace:
+    """Generate a synthetic trace for one Table 1 ticker."""
+    trace = generate_trace(spec.ticker, config_for_spec(spec, n_samples), rng)
+    trace.meta["table1_min"] = spec.min_price
+    trace.meta["table1_max"] = spec.max_price
+    return trace
+
+
+def make_trace_set(
+    n_traces: int,
+    rng_factory,
+    n_samples: int = 10_000,
+) -> list[Trace]:
+    """Generate the paper's 100-trace ensemble (or any other count).
+
+    The first ``len(PAPER_TICKERS)`` traces use the Table 1 presets; the
+    remainder draw a random price level and band in the range the paper's
+    traces cover (roughly $10-$65 with sub-dollar to ~1-dollar bands).
+
+    Args:
+        n_traces: Number of traces to generate.
+        rng_factory: Callable ``index -> numpy Generator`` (use
+            :meth:`repro.sim.rng.RandomStreams.spawn`).
+        n_samples: Samples per trace.
+    """
+    if n_traces < 1:
+        raise ConfigurationError(f"n_traces must be >= 1, got {n_traces!r}")
+    traces: list[Trace] = []
+    for i in range(n_traces):
+        rng = rng_factory(i)
+        if i < len(PAPER_TICKERS):
+            traces.append(make_paper_trace(PAPER_TICKERS[i], rng, n_samples))
+            continue
+        level = float(rng.uniform(10.0, 65.0))
+        band = float(rng.uniform(0.3, 1.2))
+        spec = TickerSpec(f"SYN{i:03d}", level, level + band)
+        traces.append(make_paper_trace(spec, rng, n_samples))
+    return traces

@@ -1,0 +1,113 @@
+"""Trace container.
+
+A trace is the update sequence ``x_0, x_1, ...`` a source observes for one
+data item (Section 2 calls this the *data stream*).  Timestamps are
+seconds, strictly increasing; values are floats (dollars, for the stock
+exemplars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TraceError
+
+__all__ = ["Trace"]
+
+
+@dataclass
+class Trace:
+    """An ordered stream of (timestamp, value) updates for one item.
+
+    Attributes:
+        name: Item / ticker identifier.
+        times: 1-D float array of timestamps in seconds, strictly increasing.
+        values: 1-D float array of item values, same length as ``times``.
+    """
+
+    name: str
+    times: np.ndarray
+    values: np.ndarray
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.times.ndim != 1 or self.values.ndim != 1:
+            raise TraceError("times and values must be one-dimensional")
+        if self.times.shape[0] != self.values.shape[0]:
+            raise TraceError(
+                f"times ({self.times.shape[0]}) and values "
+                f"({self.values.shape[0]}) must have equal length"
+            )
+        if self.times.shape[0] == 0:
+            raise TraceError(f"trace {self.name!r} is empty")
+        if self.times.shape[0] > 1 and not (np.diff(self.times) > 0).all():
+            raise TraceError(f"trace {self.name!r} timestamps are not increasing")
+        if not np.isfinite(self.times).all() or not np.isfinite(self.values).all():
+            raise TraceError(f"trace {self.name!r} contains non-finite entries")
+
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+    @property
+    def initial_value(self) -> float:
+        """The first value; repositories are primed with it."""
+        return float(self.values[0])
+
+    @property
+    def span(self) -> float:
+        """Observation window length in seconds."""
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def min_value(self) -> float:
+        return float(self.values.min())
+
+    @property
+    def max_value(self) -> float:
+        return float(self.values.max())
+
+    def changes(self) -> "Trace":
+        """Return the sub-trace of *distinct consecutive* values.
+
+        Polling at one value per second re-reads unchanged prices; only
+        actual changes matter to dissemination.  The first sample is always
+        kept as the priming value.
+        """
+        if len(self) == 1:
+            return self
+        keep = np.empty(len(self), dtype=bool)
+        keep[0] = True
+        keep[1:] = self.values[1:] != self.values[:-1]
+        return Trace(
+            name=self.name,
+            times=self.times[keep],
+            values=self.values[keep],
+            meta=dict(self.meta),
+        )
+
+    def value_at(self, t: float) -> float:
+        """Source value at time ``t`` (step function, left-continuous hold).
+
+        Raises:
+            TraceError: if ``t`` precedes the first sample.
+        """
+        if t < self.times[0]:
+            raise TraceError(f"time {t!r} precedes trace start {self.times[0]!r}")
+        idx = int(np.searchsorted(self.times, t, side="right")) - 1
+        return float(self.values[idx])
+
+    def slice(self, n: int) -> "Trace":
+        """Return a prefix of at most ``n`` samples (used by scale presets)."""
+        if n < 1:
+            raise TraceError(f"slice length must be >= 1, got {n!r}")
+        n = min(n, len(self))
+        return Trace(
+            name=self.name,
+            times=self.times[:n].copy(),
+            values=self.values[:n].copy(),
+            meta=dict(self.meta),
+        )

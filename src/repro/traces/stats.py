@@ -1,0 +1,73 @@
+"""Table-1-style trace summaries.
+
+The paper's Table 1 reports, per ticker, the polling interval and the
+min/max price over the trace.  :func:`summarize` computes those plus the
+statistics that matter to coherency maintenance: how often the price
+actually changes and how large the jumps are relative to the stringent
+($0.01-$0.099) tolerance band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.model import Trace
+
+__all__ = ["TraceStats", "summarize", "format_table1"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one trace."""
+
+    name: str
+    n_samples: int
+    span_s: float
+    min_value: float
+    max_value: float
+    n_changes: int
+    change_rate: float
+    mean_abs_jump: float
+    max_abs_jump: float
+
+    @property
+    def band(self) -> float:
+        """Width of the observed price band."""
+        return self.max_value - self.min_value
+
+
+def summarize(trace: Trace) -> TraceStats:
+    """Compute Table-1-style statistics for a trace."""
+    diffs = np.diff(trace.values)
+    jumps = diffs[diffs != 0.0]
+    n_changes = int(jumps.shape[0])
+    span = trace.span
+    return TraceStats(
+        name=trace.name,
+        n_samples=len(trace),
+        span_s=span,
+        min_value=trace.min_value,
+        max_value=trace.max_value,
+        n_changes=n_changes,
+        change_rate=(n_changes / span) if span > 0 else 0.0,
+        mean_abs_jump=float(np.abs(jumps).mean()) if n_changes else 0.0,
+        max_abs_jump=float(np.abs(jumps).max()) if n_changes else 0.0,
+    )
+
+
+def format_table1(stats: list[TraceStats]) -> str:
+    """Render stats as an ASCII table shaped like the paper's Table 1."""
+    header = (
+        f"{'Ticker':<8} {'Samples':>8} {'Span(hrs)':>10} "
+        f"{'Min':>9} {'Max':>9} {'Changes':>8} {'Chg/s':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in stats:
+        lines.append(
+            f"{s.name:<8} {s.n_samples:>8d} {s.span_s / 3600.0:>10.2f} "
+            f"{s.min_value:>9.3f} {s.max_value:>9.3f} "
+            f"{s.n_changes:>8d} {s.change_rate:>7.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Synthetic stock-price traces.
+
+The paper's traces (Table 1) have three properties that matter to the
+dissemination algorithms:
+
+1. values arrive about once per second, but the *price* changes more
+   slowly -- consecutive polls frequently repeat the last value;
+2. prices move in discrete ticks (cents), mostly by one or two ticks;
+3. over a few hours a price wanders inside a band that is narrow relative
+   to the price itself (e.g. MSFT 60.09-60.85 over three hours).
+
+We reproduce this with a mean-reverting (discretised Ornstein-Uhlenbeck)
+random walk, rounded to the tick size, with a per-step "no trade"
+probability.  Mean reversion keeps the trace inside a band like the real
+traces; tick rounding recreates the cent-granular jumps that interact
+with the stringent ($0.01-$0.099) coherency tolerances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traces.model import Trace
+
+__all__ = ["SyntheticTraceConfig", "generate_trace"]
+
+
+@dataclass(frozen=True)
+class SyntheticTraceConfig:
+    """Parameters of the synthetic price process.
+
+    Attributes:
+        n_samples: Number of polled values (paper: 10 000).
+        interval_s: Poll interval in seconds (paper: ~1 s).
+        start_price: Initial price, also the mean-reversion anchor.
+        volatility: Per-step standard deviation of the price innovation,
+            in dollars (before tick rounding).
+        reversion: Mean-reversion strength in [0, 1); 0 is a pure random
+            walk, larger values pull harder toward ``start_price``.
+        tick: Price granularity in dollars (US equities in 2002: $0.01).
+        change_probability: Probability a poll observes a fresh trade;
+            otherwise the previous price repeats (the polling artefact).
+    """
+
+    n_samples: int = 10_000
+    interval_s: float = 1.0
+    start_price: float = 50.0
+    volatility: float = 0.02
+    reversion: float = 0.01
+    tick: float = 0.01
+    change_probability: float = 0.35
+
+    def validate(self) -> None:
+        if self.n_samples < 1:
+            raise ConfigurationError(f"n_samples must be >= 1, got {self.n_samples!r}")
+        if self.interval_s <= 0:
+            raise ConfigurationError(
+                f"interval_s must be positive, got {self.interval_s!r}"
+            )
+        if self.start_price <= 0:
+            raise ConfigurationError(
+                f"start_price must be positive, got {self.start_price!r}"
+            )
+        if self.volatility < 0:
+            raise ConfigurationError(
+                f"volatility must be non-negative, got {self.volatility!r}"
+            )
+        if not 0.0 <= self.reversion < 1.0:
+            raise ConfigurationError(
+                f"reversion must be in [0, 1), got {self.reversion!r}"
+            )
+        if self.tick <= 0:
+            raise ConfigurationError(f"tick must be positive, got {self.tick!r}")
+        if not 0.0 < self.change_probability <= 1.0:
+            raise ConfigurationError(
+                "change_probability must be in (0, 1], "
+                f"got {self.change_probability!r}"
+            )
+
+
+def generate_trace(
+    name: str,
+    config: SyntheticTraceConfig,
+    rng: np.random.Generator,
+) -> Trace:
+    """Generate one synthetic price trace.
+
+    The process is ``p_{k+1} = p_k + r*(p_0 - p_k) + sigma*z_k`` rounded to
+    the tick grid, with each step applied only when a Bernoulli "trade
+    happened" draw succeeds.  The price is floored at one tick so it can
+    never go non-positive.
+
+    Returns:
+        A :class:`~repro.traces.model.Trace` with strictly increasing
+         1-per-``interval_s`` timestamps.
+    """
+    config.validate()
+    n = config.n_samples
+    times = np.arange(n, dtype=float) * config.interval_s
+
+    innovations = rng.normal(0.0, config.volatility, size=n)
+    trades = rng.random(n) < config.change_probability
+    values = np.empty(n, dtype=float)
+    price = config.start_price
+    anchor = config.start_price
+    tick = config.tick
+    for k in range(n):
+        if k > 0 and trades[k]:
+            drift = config.reversion * (anchor - price)
+            price = price + drift + innovations[k]
+            price = round(price / tick) * tick
+            if price < tick:
+                price = tick
+        values[k] = price
+
+    return Trace(
+        name=name,
+        times=times,
+        values=values,
+        meta={
+            "synthetic": True,
+            "start_price": config.start_price,
+            "volatility": config.volatility,
+            "reversion": config.reversion,
+            "tick": config.tick,
+            "change_probability": config.change_probability,
+        },
+    )

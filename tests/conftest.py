@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.builder import build_setup
+from repro.engine.config import SCALE_PRESETS
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for structure-level randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_setup():
+    """One prebuilt tiny-scale setup shared by read-only tests."""
+    return build_setup(SCALE_PRESETS["tiny"].with_(offered_degree=4))
+
+
+@pytest.fixture(scope="session")
+def tiny_zero_delay_setup():
+    """Tiny setup on an idealised zero-delay, zero-computation system."""
+    config = SCALE_PRESETS["tiny"].with_(
+        offered_degree=4, comm_target_ms=0.0, comp_delay_ms=0.0
+    )
+    return build_setup(config)

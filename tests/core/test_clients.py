@@ -1,0 +1,127 @@
+"""Tests for the client layer and requirement derivation."""
+
+import numpy as np
+import pytest
+
+from repro.core.clients import Client, ClientPopulation, derive_repository_profiles
+from repro.core.items import CoherencyMix, DataItem
+from repro.errors import ConfigurationError
+
+
+def make_items(n=5):
+    return [DataItem(item_id=i, name=f"I{i}") for i in range(n)]
+
+
+def test_client_rejects_nonpositive_tolerance():
+    with pytest.raises(ConfigurationError):
+        Client(client_id=0, repository=1, requirements={0: 0.0})
+
+
+def test_population_indexing():
+    pop = ClientPopulation(
+        clients=[
+            Client(0, repository=1, requirements={0: 0.1}),
+            Client(1, repository=1, requirements={0: 0.5}),
+            Client(2, repository=2, requirements={1: 0.2}),
+        ]
+    )
+    assert len(pop) == 3
+    assert len(pop.at_repository(1)) == 2
+    assert pop.repositories() == [1, 2]
+
+
+def test_derivation_takes_most_stringent():
+    pop = ClientPopulation(
+        clients=[
+            Client(0, repository=1, requirements={0: 0.5, 1: 0.2}),
+            Client(1, repository=1, requirements={0: 0.05}),
+        ]
+    )
+    profiles = derive_repository_profiles(pop)
+    assert profiles[1].requirements == {0: 0.05, 1: 0.2}
+
+
+def test_derivation_keeps_repositories_separate():
+    pop = ClientPopulation(
+        clients=[
+            Client(0, repository=1, requirements={0: 0.5}),
+            Client(1, repository=2, requirements={0: 0.05}),
+        ]
+    )
+    profiles = derive_repository_profiles(pop)
+    assert profiles[1].requirements[0] == 0.5
+    assert profiles[2].requirements[0] == 0.05
+
+
+def test_derivation_empty_population():
+    assert derive_repository_profiles(ClientPopulation()) == {}
+
+
+def test_satisfied_by_threshold():
+    pop = ClientPopulation(
+        clients=[
+            Client(0, repository=1, requirements={0: 0.1}),
+            Client(1, repository=1, requirements={0: 0.5}),
+        ]
+    )
+    # Achieving 0.3 satisfies only the lax client.
+    satisfied = pop.satisfied_by(1, 0, achieved_c=0.3)
+    assert [c.client_id for c in satisfied] == [1]
+    # Achieving the derived minimum satisfies everyone.
+    assert len(pop.satisfied_by(1, 0, achieved_c=0.1)) == 2
+
+
+def test_generate_population_shape():
+    pop = ClientPopulation.generate(
+        repositories=[1, 2, 3],
+        items=make_items(),
+        mix=CoherencyMix(50.0),
+        rng=np.random.default_rng(0),
+        clients_per_repository=4,
+    )
+    assert len(pop) == 12
+    assert pop.repositories() == [1, 2, 3]
+    assert all(len(c.requirements) >= 1 for c in pop.clients)
+
+
+def test_generate_validation():
+    with pytest.raises(ConfigurationError):
+        ClientPopulation.generate(
+            [1], make_items(), CoherencyMix(50.0), np.random.default_rng(0),
+            clients_per_repository=0,
+        )
+    with pytest.raises(ConfigurationError):
+        ClientPopulation.generate(
+            [1], make_items(), CoherencyMix(50.0), np.random.default_rng(0),
+            subscription_probability=0.0,
+        )
+
+
+def test_generated_derivation_feeds_lela():
+    from repro.core.lela import build_d3g
+
+    pop = ClientPopulation.generate(
+        repositories=[1, 2, 3, 4],
+        items=make_items(),
+        mix=CoherencyMix(80.0),
+        rng=np.random.default_rng(1),
+    )
+    profiles = derive_repository_profiles(pop)
+    graph = build_d3g(
+        list(profiles.values()),
+        source=0,
+        comm_delay_ms=lambda u, v: 0.0 if u == v else 10.0,
+        offered_degree=3,
+    )
+    graph.validate()
+    # Every repository receives at a coherency meeting every client.
+    for repo, profile in profiles.items():
+        for item_id in profile.requirements:
+            achieved = graph.nodes[repo].receive_c[item_id]
+            unsatisfied = [
+                c
+                for c in pop.at_repository(repo)
+                if item_id in c.requirements
+                and achieved > c.requirements[item_id]
+            ]
+            assert not unsatisfied

@@ -1,0 +1,80 @@
+"""Unit tests for the Eq. (2) degree-of-cooperation heuristic."""
+
+import pytest
+
+from repro.core.cooperation import coop_degree
+from repro.errors import ConfigurationError
+
+
+def test_base_case_matches_footnote_f50():
+    # Paper footnote: base-case delays (comm ~25 ms, comp 12.5 ms) with
+    # f=50 give a degree around 10.
+    assert coop_degree(25.0, 12.5, f=50.0) == 10
+
+
+def test_base_case_matches_footnote_f100():
+    # ... and f=100 gives a degree around 5.
+    assert coop_degree(25.0, 12.5, f=100.0) == 5
+
+
+def test_degree_in_paper_optimum_band():
+    # The paper's base-case optimum lies between 3 and 20 dependents.
+    assert 3 <= coop_degree(25.0, 12.5) <= 20
+
+
+def test_proportional_to_comm_delay():
+    degrees = [coop_degree(c, 12.5) for c in (10.0, 25.0, 50.0, 100.0)]
+    assert degrees == sorted(degrees)
+    assert degrees[-1] > degrees[0]
+
+
+def test_inversely_proportional_to_comp_delay():
+    degrees = [coop_degree(25.0, c) for c in (2.0, 5.0, 12.5, 25.0)]
+    assert degrees == sorted(degrees, reverse=True)
+    assert degrees[0] > degrees[-1]
+
+
+def test_clamped_to_c_resources():
+    assert coop_degree(1000.0, 1.0, c_resources=30) == 30
+
+
+def test_clamped_below_at_one():
+    assert coop_degree(0.1, 100.0) == 1
+
+
+def test_zero_comp_delay_maxes_out():
+    assert coop_degree(25.0, 0.0, c_resources=64) == 64
+
+
+def test_zero_comm_delay_gives_one():
+    assert coop_degree(0.0, 12.5) == 1
+
+
+def test_insensitive_to_large_f():
+    # Doubling f beyond 50 halves the degree but keeps it >= 1; the
+    # formula itself must stay monotone in f.
+    d50 = coop_degree(25.0, 12.5, f=50.0)
+    d100 = coop_degree(25.0, 12.5, f=100.0)
+    d200 = coop_degree(25.0, 12.5, f=200.0)
+    assert d50 >= d100 >= d200 >= 1
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"f": 0.0},
+        {"f": -5.0},
+        {"c_resources": 0},
+        {"avg_comm_delay_ms": -1.0},
+        {"avg_comp_delay_ms": -1.0},
+    ],
+)
+def test_invalid_inputs_rejected(kwargs):
+    args = {"avg_comm_delay_ms": 25.0, "avg_comp_delay_ms": 12.5}
+    args.update(kwargs)
+    with pytest.raises(ConfigurationError):
+        coop_degree(**args)
+
+
+def test_returns_int():
+    assert isinstance(coop_degree(25.0, 12.5), int)

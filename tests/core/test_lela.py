@@ -1,0 +1,182 @@
+"""Unit tests for the LeLA construction algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.interests import InterestProfile
+from repro.core.lela import LelaBuilder, build_d3g
+from repro.core.preference import preference_p2
+from repro.errors import TreeConstructionError
+
+
+def flat_delay(u, v):
+    """Every node pair 10 ms apart -- preference reduces to load."""
+    return 0.0 if u == v else 10.0
+
+
+def profile(repo, reqs):
+    return InterestProfile(repository=repo, requirements=reqs)
+
+
+def test_first_repository_lands_at_level_one():
+    graph = build_d3g([profile(1, {0: 0.1})], 0, flat_delay, offered_degree=4)
+    assert graph.nodes[1].level == 1
+    assert graph.nodes[1].parent_for[0] == 0
+
+
+def test_source_capacity_forces_second_level():
+    profiles = [profile(r, {0: 0.1}) for r in (1, 2, 3)]
+    graph = build_d3g(profiles, 0, flat_delay, offered_degree=2)
+    levels = [graph.nodes[r].level for r in (1, 2, 3)]
+    assert levels == [1, 1, 2]
+    # The third repository is served by a level-1 repository.
+    assert graph.nodes[3].parent_for[0] in (1, 2)
+
+
+def test_chain_when_degree_is_one():
+    profiles = [profile(r, {0: 0.1}) for r in range(1, 6)]
+    graph = build_d3g(profiles, 0, flat_delay, offered_degree=1)
+    assert graph.stats().max_depth == 5
+    assert all(graph.n_dependents(n) <= 1 for n in graph.nodes)
+
+
+def test_star_when_degree_huge():
+    profiles = [profile(r, {0: 0.1}) for r in range(1, 11)]
+    graph = build_d3g(profiles, 0, flat_delay, offered_degree=100)
+    assert all(graph.nodes[r].level == 1 for r in range(1, 11))
+    assert graph.n_dependents(0) == 10
+
+
+def test_eq1_holds_on_every_edge():
+    rng = np.random.default_rng(0)
+    profiles = [
+        profile(r, {i: float(rng.uniform(0.01, 0.9)) for i in range(4)})
+        for r in range(1, 16)
+    ]
+    graph = build_d3g(profiles, 0, flat_delay, offered_degree=3)
+    graph.validate(max_dependents={n: 3 for n in graph.nodes})
+
+
+def test_every_interest_is_served():
+    rng = np.random.default_rng(1)
+    profiles = []
+    for r in range(1, 21):
+        wanted = rng.choice(6, size=3, replace=False)
+        profiles.append(
+            profile(r, {int(i): float(rng.uniform(0.05, 0.5)) for i in wanted})
+        )
+    graph = build_d3g(profiles, 0, flat_delay, offered_degree=3)
+    for p in profiles:
+        for item_id in p.requirements:
+            assert item_id in graph.nodes[p.repository].receive_c
+            assert graph.item_depth(p.repository, item_id) >= 1
+
+
+def test_augmentation_creates_path_to_source():
+    # Repo 1 only wants item A; repo 2 wants items A and B and must be
+    # served by repo 1 (source full), forcing 1 to acquire B.
+    profiles = [profile(1, {0: 0.1}), profile(2, {0: 0.2, 1: 0.3})]
+    graph = build_d3g(profiles, 0, flat_delay, offered_degree=1)
+    assert graph.nodes[2].level == 2
+    assert graph.nodes[2].parent_for[1] == 1
+    # Node 1 now relays item 1 even though its users never asked for it.
+    assert 1 in graph.nodes[1].receive_c
+    assert 1 not in graph.nodes[1].own_c
+    assert graph.nodes[1].receive_c[1] <= 0.3
+
+
+def test_augmentation_tightens_existing_subscription():
+    # Repo 1 holds item 0 laxly; repo 2 needs it tighter through repo 1.
+    profiles = [profile(1, {0: 0.5}), profile(2, {0: 0.05})]
+    graph = build_d3g(profiles, 0, flat_delay, offered_degree=1)
+    assert graph.nodes[2].parent_for[0] == 1
+    assert graph.nodes[1].receive_c[0] <= 0.05
+
+
+def test_augmentation_cascades_two_levels():
+    profiles = [
+        profile(1, {0: 0.1}),
+        profile(2, {0: 0.1}),
+        profile(3, {0: 0.1, 1: 0.2}),
+    ]
+    graph = build_d3g(profiles, 0, flat_delay, offered_degree=1)
+    # Chain 0 -> 1 -> 2 -> 3; item 1 must now flow through both 1 and 2.
+    assert graph.item_depth(3, 1) == 3
+    assert 1 in graph.nodes[1].receive_c
+    assert 1 in graph.nodes[2].receive_c
+    graph.validate()
+
+
+def test_capacity_never_exceeded():
+    rng = np.random.default_rng(2)
+    profiles = [
+        profile(r, {i: float(rng.uniform(0.05, 0.5)) for i in range(3)})
+        for r in range(1, 31)
+    ]
+    for degree in (1, 2, 5):
+        graph = build_d3g(profiles, 0, flat_delay, offered_degree=degree)
+        for node in graph.nodes:
+            assert graph.n_dependents(node) <= degree
+
+
+def test_p_percent_widens_parent_set():
+    # With distinct delays, P=0 admits only the single best parent while
+    # a huge P admits several, splitting the item set.
+    def delays(u, v):
+        if u == v:
+            return 0.0
+        return 10.0 + abs(u - v)
+
+    profiles = [
+        profile(1, {0: 0.1, 1: 0.1}),
+        profile(2, {0: 0.2, 1: 0.2}),
+        profile(3, {0: 0.3, 1: 0.3}),
+    ]
+    narrow = LelaBuilder(0, delays, {n: 10 for n in range(4)}, p_percent=0.0)
+    for p in profiles:
+        narrow.insert(p)
+    wide = LelaBuilder(0, delays, {n: 10 for n in range(4)}, p_percent=200.0)
+    for p in profiles:
+        wide.insert(p)
+    # Both must be valid regardless.
+    narrow.graph.validate()
+    wide.graph.validate()
+
+
+def test_alternative_preference_function_builds_valid_graph():
+    profiles = [profile(r, {0: 0.1, 1: 0.5}) for r in range(1, 11)]
+    graph = build_d3g(
+        profiles, 0, flat_delay, offered_degree=3, preference=preference_p2
+    )
+    graph.validate(max_dependents={n: 3 for n in graph.nodes})
+
+
+def test_empty_needs_rejected():
+    builder = LelaBuilder(0, flat_delay, {0: 4})
+    with pytest.raises(TreeConstructionError):
+        builder.insert(InterestProfile(repository=1))
+
+
+def test_negative_p_percent_rejected():
+    with pytest.raises(TreeConstructionError):
+        LelaBuilder(0, flat_delay, {0: 4}, p_percent=-1.0)
+
+
+def test_per_node_degree_mapping():
+    profiles = [profile(r, {0: 0.1}) for r in range(1, 5)]
+    budgets = {0: 1, 1: 1, 2: 1, 3: 1, 4: 1}
+    graph = build_d3g(profiles, 0, flat_delay, offered_degree=budgets)
+    assert graph.stats().max_depth == 4
+
+
+def test_deterministic_given_rng():
+    rng_profiles = np.random.default_rng(3)
+    profiles = [
+        profile(r, {i: float(rng_profiles.uniform(0.05, 0.5)) for i in range(3)})
+        for r in range(1, 16)
+    ]
+    a = build_d3g(profiles, 0, flat_delay, 3, rng=np.random.default_rng(9))
+    b = build_d3g(profiles, 0, flat_delay, 3, rng=np.random.default_rng(9))
+    assert {n: s.parent_for for n, s in a.nodes.items()} == {
+        n: s.parent_for for n, s in b.nodes.items()
+    }

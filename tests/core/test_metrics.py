@@ -1,0 +1,46 @@
+"""Unit tests for cost counters."""
+
+from repro.core.metrics import CostCounters
+
+
+def test_checks_split_by_role():
+    counters = CostCounters()
+    counters.record_check(0, is_source=True, count=3)
+    counters.record_check(5, is_source=False)
+    assert counters.source_checks == 3
+    assert counters.repository_checks == 1
+    assert counters.total_checks == 4
+    assert counters.per_node_checks == {0: 3, 5: 1}
+
+
+def test_messages_split_by_role():
+    counters = CostCounters()
+    counters.record_message(0, is_source=True)
+    counters.record_message(5, is_source=False)
+    counters.record_message(5, is_source=False)
+    assert counters.messages == 3
+    assert counters.source_messages == 1
+    assert counters.per_node_messages == {0: 1, 5: 2}
+
+
+def test_deliveries():
+    counters = CostCounters()
+    counters.record_delivery()
+    counters.record_delivery()
+    assert counters.deliveries == 2
+
+
+def test_busiest_sender():
+    counters = CostCounters()
+    assert counters.busiest_sender() is None
+    counters.record_message(1, is_source=False)
+    counters.record_message(2, is_source=False)
+    counters.record_message(2, is_source=False)
+    assert counters.busiest_sender() == (2, 2)
+
+
+def test_fresh_counters_zeroed():
+    counters = CostCounters()
+    assert counters.messages == 0
+    assert counters.total_checks == 0
+    assert counters.deliveries == 0

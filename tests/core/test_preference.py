@@ -1,0 +1,54 @@
+"""Unit tests for the LeLA preference factors."""
+
+import pytest
+
+from repro.core.preference import (
+    get_preference_function,
+    preference_p1,
+    preference_p2,
+)
+from repro.errors import ConfigurationError
+
+
+def test_p1_prefers_closer_parents():
+    assert preference_p1(10.0, 0, 0) < preference_p1(20.0, 0, 0)
+
+
+def test_p1_prefers_less_loaded_parents():
+    assert preference_p1(10.0, 1, 0) < preference_p1(10.0, 5, 0)
+
+
+def test_p1_prefers_higher_availability():
+    assert preference_p1(10.0, 1, 8) < preference_p1(10.0, 1, 2)
+
+
+def test_p1_handles_zero_availability():
+    # No division by zero; a useless parent is simply dispreferred.
+    assert preference_p1(10.0, 0, 0) == 10.0
+
+
+def test_p2_ignores_availability():
+    assert preference_p2(10.0, 3, 0) == preference_p2(10.0, 3, 100)
+
+
+def test_p2_matches_paper_form():
+    assert preference_p2(10.0, 3, 0) == 10.0 * 4.0
+
+
+def test_p1_formula_value():
+    assert preference_p1(12.0, 2, 3) == pytest.approx(12.0 * 3.0 / 4.0)
+
+
+def test_registry_lookup():
+    assert get_preference_function("p1") is preference_p1
+    assert get_preference_function("P2") is preference_p2
+
+
+def test_registry_unknown_rejected():
+    with pytest.raises(ConfigurationError):
+        get_preference_function("p3")
+
+
+def test_zero_delay_parent_always_wins():
+    # A co-located parent (0 ms) beats everyone regardless of load.
+    assert preference_p1(0.0, 99, 0) < preference_p1(1.0, 0, 99)

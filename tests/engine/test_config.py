@@ -1,0 +1,75 @@
+"""Unit tests for simulation configuration and presets."""
+
+import pytest
+
+from repro.engine.config import SCALE_PRESETS, SimulationConfig
+from repro.errors import ConfigurationError
+
+
+def test_default_config_matches_paper_parameters():
+    config = SimulationConfig()
+    assert config.comp_delay_ms == 12.5
+    assert config.link_delay_mean_ms == 15.0
+    assert config.link_delay_min_ms == 2.0
+    assert config.subscription_probability == 0.5
+    assert config.p_percent == 5.0
+    assert config.interest_fraction_f == 50.0
+
+
+def test_presets_exist_and_scale_up():
+    assert set(SCALE_PRESETS) == {"tiny", "small", "paper"}
+    tiny, small, paper = (
+        SCALE_PRESETS["tiny"],
+        SCALE_PRESETS["small"],
+        SCALE_PRESETS["paper"],
+    )
+    assert tiny.n_repositories < small.n_repositories < paper.n_repositories
+    assert tiny.trace_samples < small.trace_samples < paper.trace_samples
+
+
+def test_paper_preset_matches_base_case():
+    paper = SCALE_PRESETS["paper"]
+    assert paper.n_repositories == 100
+    assert paper.n_routers == 600
+    assert paper.trace_samples == 10_000
+
+
+def test_with_replaces_fields_immutably():
+    config = SimulationConfig()
+    other = config.with_(t_percent=20.0, offered_degree=9)
+    assert other.t_percent == 20.0
+    assert other.offered_degree == 9
+    assert config.t_percent != 20.0 or config.offered_degree != 9
+    assert config is not other
+
+
+def test_config_is_frozen():
+    config = SimulationConfig()
+    with pytest.raises(AttributeError):
+        config.t_percent = 50.0  # type: ignore[misc]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n_repositories": 0},
+        {"n_routers": -1},
+        {"n_items": 0},
+        {"trace_samples": 1},
+        {"comp_delay_ms": -1.0},
+        {"link_delay_mean_ms": -1.0},
+        {"comm_target_ms": -5.0},
+        {"offered_degree": 0},
+        {"t_percent": 150.0},
+        {"interest_fraction_f": 0.0},
+    ],
+)
+def test_invalid_config_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(**kwargs)
+
+
+def test_with_revalidates():
+    config = SimulationConfig()
+    with pytest.raises(ConfigurationError):
+        config.with_(offered_degree=0)

@@ -1,0 +1,67 @@
+"""Failure-injection tests: lossy networks degrade fidelity gracefully."""
+
+import pytest
+
+from repro.engine.config import SCALE_PRESETS
+from repro.engine.simulation import run_simulation
+from repro.errors import ConfigurationError
+
+
+def config(loss):
+    return SCALE_PRESETS["tiny"].with_(
+        n_items=6,
+        trace_samples=500,
+        t_percent=80.0,
+        offered_degree=4,
+        message_loss_probability=loss,
+    )
+
+
+def test_invalid_probability_rejected():
+    with pytest.raises(ConfigurationError):
+        config(1.0)
+    with pytest.raises(ConfigurationError):
+        config(-0.1)
+
+
+def test_no_loss_means_no_drops():
+    result = run_simulation(config(0.0))
+    assert result.counters.drops == 0
+    assert result.counters.deliveries == result.counters.messages
+
+
+def test_drops_accounted_against_messages():
+    result = run_simulation(config(0.2))
+    assert result.counters.drops > 0
+    assert (
+        result.counters.deliveries + result.counters.drops
+        == result.counters.messages
+    )
+
+
+def test_drop_rate_near_configured_probability():
+    result = run_simulation(config(0.2))
+    rate = result.counters.drops / result.counters.messages
+    assert 0.1 < rate < 0.3
+
+
+def test_loss_degrades_fidelity_monotonically():
+    clean = run_simulation(config(0.0))
+    lossy = run_simulation(config(0.3))
+    very_lossy = run_simulation(config(0.6))
+    assert clean.loss_of_fidelity < lossy.loss_of_fidelity
+    assert lossy.loss_of_fidelity < very_lossy.loss_of_fidelity
+
+
+def test_system_survives_extreme_loss():
+    # Even at 90% loss the run completes and fidelity is merely terrible.
+    result = run_simulation(config(0.9))
+    assert 0.0 <= result.loss_of_fidelity <= 100.0
+    assert result.counters.drops > result.counters.deliveries
+
+
+def test_lossy_runs_are_deterministic():
+    a = run_simulation(config(0.25))
+    b = run_simulation(config(0.25))
+    assert a.loss_of_fidelity == b.loss_of_fidelity
+    assert a.counters.drops == b.counters.drops

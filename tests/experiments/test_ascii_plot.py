@@ -1,0 +1,89 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.ascii_plot import render
+from repro.experiments.runner import ExperimentResult, Series
+
+
+def u_curve():
+    return ExperimentResult(
+        name="U",
+        xlabel="degree",
+        ylabel="loss %",
+        xs=[1.0, 2.0, 4.0, 8.0, 20.0],
+        series=[
+            Series(label="T=100", ys=[9.0, 4.0, 4.5, 6.0, 8.0]),
+            Series(label="T=0", ys=[0.3, 0.1, 0.1, 0.1, 0.1]),
+        ],
+    )
+
+
+def test_render_contains_glyphs_and_legend():
+    text = render(u_curve())
+    assert "o=T=100" in text
+    assert "x=T=0" in text
+    assert "o" in text.splitlines()[1:][0] or any(
+        "o" in line for line in text.splitlines()
+    )
+
+
+def test_render_dimensions():
+    text = render(u_curve(), width=40, height=10)
+    chart_rows = [line for line in text.splitlines() if "|" in line]
+    assert len(chart_rows) == 10
+    for row in chart_rows:
+        assert len(row.split("|", 1)[1]) == 40
+
+
+def test_extreme_values_hit_extreme_rows():
+    text = render(u_curve(), width=40, height=10)
+    rows = [line.split("|", 1)[1] for line in text.splitlines() if "|" in line]
+    assert "o" in rows[0]       # max loss at the top row
+    assert "x" in rows[-1]      # min loss at the bottom row
+
+
+def test_axis_labels_present():
+    text = render(u_curve())
+    assert "loss %" in text
+    assert "degree" in text
+    assert "9" in text  # y-max label
+    assert "20" in text  # x-max label
+
+
+def test_flat_series_renders():
+    flat = ExperimentResult(
+        name="flat", xlabel="x", ylabel="y", xs=[0.0, 1.0],
+        series=[Series(label="s", ys=[5.0, 5.0])],
+    )
+    text = render(flat)
+    assert "o=s" in text
+
+
+def test_single_point_renders():
+    single = ExperimentResult(
+        name="pt", xlabel="x", ylabel="y", xs=[3.0],
+        series=[Series(label="s", ys=[1.0])],
+    )
+    assert "o" in render(single)
+
+
+def test_empty_rejected():
+    empty = ExperimentResult(name="e", xlabel="x", ylabel="y", xs=[])
+    with pytest.raises(ConfigurationError):
+        render(empty)
+
+
+def test_tiny_canvas_rejected():
+    with pytest.raises(ConfigurationError):
+        render(u_curve(), width=4, height=2)
+
+
+def test_too_many_series_rejected():
+    result = ExperimentResult(
+        name="many", xlabel="x", ylabel="y", xs=[0.0],
+        series=[Series(label=f"s{i}", ys=[float(i)]) for i in range(9)],
+    )
+    with pytest.raises(ConfigurationError):
+        render(result)

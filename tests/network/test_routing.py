@@ -1,0 +1,117 @@
+"""Unit tests for Floyd-Warshall routing, validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.delays import ParetoDelayModel
+from repro.network.routing import build_routing
+from repro.network.topology import Topology, generate_topology
+
+
+def small_topology():
+    #   0 --1ms-- 1 --1ms-- 2
+    #    \------10ms-------/
+    edges = np.array([[0, 1], [1, 2], [0, 2]])
+    delays = np.array([1.0, 1.0, 10.0])
+    return Topology(n_repositories=2, n_routers=0, edges=edges, delays_ms=delays)
+
+
+def test_shortest_path_prefers_cheap_two_hop():
+    routing = build_routing(small_topology())
+    assert routing.dist_ms[0, 2] == 2.0
+    assert routing.hops[0, 2] == 2
+    assert routing.path(0, 2) == [0, 1, 2]
+
+
+def test_distance_matrix_symmetric_for_undirected_graph():
+    topo = generate_topology(
+        10, 30, np.random.default_rng(0), ParetoDelayModel()
+    )
+    routing = build_routing(topo)
+    assert np.allclose(routing.dist_ms, routing.dist_ms.T)
+
+
+def test_diagonal_is_zero():
+    routing = build_routing(small_topology())
+    assert (np.diag(routing.dist_ms) == 0).all()
+    assert (np.diag(routing.hops) == 0).all()
+
+
+def test_triangle_inequality_holds():
+    topo = generate_topology(
+        10, 30, np.random.default_rng(1), ParetoDelayModel()
+    )
+    d = build_routing(topo).dist_ms
+    via = d[:, :, None] + d[None, :, :]  # via[i, k, j] = d[i,k] + d[k,j]
+    assert (d <= via.min(axis=1) + 1e-9).all()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_distances_match_networkx_dijkstra(seed):
+    topo = generate_topology(
+        8, 20, np.random.default_rng(seed), ParetoDelayModel()
+    )
+    routing = build_routing(topo)
+    graph = nx.Graph()
+    for (u, v), w in zip(topo.edges, topo.delays_ms):
+        graph.add_edge(int(u), int(v), weight=float(w))
+    lengths = dict(nx.all_pairs_dijkstra_path_length(graph))
+    for u in range(topo.n_nodes):
+        for v in range(topo.n_nodes):
+            assert routing.dist_ms[u, v] == pytest.approx(lengths[u][v])
+
+
+def test_path_reconstruction_matches_distance():
+    topo = generate_topology(
+        8, 20, np.random.default_rng(3), ParetoDelayModel()
+    )
+    routing = build_routing(topo)
+    weight = {}
+    for (u, v), w in zip(topo.edges, topo.delays_ms):
+        weight[(int(u), int(v))] = float(w)
+        weight[(int(v), int(u))] = float(w)
+    for dst in (1, 5, topo.n_nodes - 1):
+        path = routing.path(0, dst)
+        assert path[0] == 0 and path[-1] == dst
+        total = sum(weight[(a, b)] for a, b in zip(path, path[1:]))
+        assert total == pytest.approx(routing.dist_ms[0, dst])
+        assert len(path) - 1 == routing.hops[0, dst]
+
+
+def test_path_to_self_is_single_node():
+    routing = build_routing(small_topology())
+    assert routing.path(1, 1) == [1]
+
+
+def test_hops_break_delay_ties_minimally():
+    # Two equal-delay routes 0->2: direct (1 hop, 2ms) vs via 1 (2 hops, 2ms).
+    edges = np.array([[0, 1], [1, 2], [0, 2]])
+    delays = np.array([1.0, 1.0, 2.0])
+    topo = Topology(n_repositories=2, n_routers=0, edges=edges, delays_ms=delays)
+    routing = build_routing(topo)
+    assert routing.dist_ms[0, 2] == 2.0
+    assert routing.hops[0, 2] == 1
+
+
+def test_disconnected_graph_rejected():
+    edges = np.array([[0, 1]])
+    delays = np.array([1.0])
+    topo = Topology(n_repositories=2, n_routers=0, edges=edges, delays_ms=delays)
+    with pytest.raises(TopologyError):
+        build_routing(topo)
+
+
+def test_diameter_and_mean_hops():
+    routing = build_routing(small_topology())
+    assert routing.diameter_hops() == 2
+    assert routing.mean_hops() > 1.0
+
+
+def test_multi_edge_keeps_cheapest():
+    edges = np.array([[0, 1], [0, 1], [1, 2]])
+    delays = np.array([5.0, 1.0, 1.0])
+    topo = Topology(n_repositories=2, n_routers=0, edges=edges, delays_ms=delays)
+    routing = build_routing(topo)
+    assert routing.dist_ms[0, 1] == 1.0

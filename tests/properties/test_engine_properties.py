@@ -1,0 +1,75 @@
+"""Property-based tests of end-to-end engine invariants.
+
+These drive the full engine (tiny workloads) over hypothesis-chosen
+configurations and check invariants that must hold regardless of the
+parameter point: accounting identities, fidelity bounds, and the
+zero-delay fidelity theorem across seeds.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.engine.config import SimulationConfig
+from repro.engine.simulation import run_simulation
+
+_BASE = dict(
+    n_repositories=8,
+    n_routers=20,
+    n_items=3,
+    trace_samples=150,
+)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    t=st.sampled_from([0.0, 50.0, 100.0]),
+    degree=st.integers(min_value=1, max_value=8),
+    policy=st.sampled_from(["distributed", "centralized", "flooding", "eq3_only"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_accounting_identities_hold_everywhere(seed, t, degree, policy):
+    config = SimulationConfig(
+        seed=seed, t_percent=t, offered_degree=degree, policy=policy, **_BASE
+    )
+    result = run_simulation(config)
+    assert 0.0 <= result.loss_of_fidelity <= 100.0
+    assert result.counters.deliveries == result.counters.messages
+    assert result.counters.drops == 0
+    assert set(result.per_repository_loss) == set(range(1, 9))
+    # Every message was preceded by at least one check somewhere.
+    assert result.counters.total_checks >= result.counters.messages
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=15, deadline=None)
+def test_zero_delay_theorem_across_seeds(seed):
+    """The 100%-fidelity guarantee holds for every random workload."""
+    config = SimulationConfig(
+        seed=seed,
+        t_percent=80.0,
+        offered_degree=3,
+        policy="distributed",
+        comm_target_ms=0.0,
+        comp_delay_ms=0.0,
+        **_BASE,
+    )
+    assert run_simulation(config).loss_of_fidelity == 0.0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    degree=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=15, deadline=None)
+def test_exact_policies_agree_on_message_volume(seed, degree):
+    """Figure 11(b) across random workloads: within 20% of each other."""
+    base = SimulationConfig(
+        seed=seed, t_percent=80.0, offered_degree=degree, **_BASE
+    )
+    dist = run_simulation(base.with_(policy="distributed"))
+    central = run_simulation(base.with_(policy="centralized"))
+    if dist.messages and central.messages:
+        ratio = central.messages / dist.messages
+        assert 0.75 < ratio < 1.35

@@ -1,0 +1,114 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+def test_push_pop_orders_by_time():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, fired.append, "late")
+    q.push(1.0, fired.append, "early")
+    q.push(2.0, fired.append, "middle")
+    order = [q.pop().args[0] for _ in range(3)]
+    assert order == ["early", "middle", "late"]
+
+
+def test_same_time_events_pop_in_schedule_order():
+    q = EventQueue()
+    for i in range(10):
+        q.push(5.0, lambda: None, i)
+    order = [q.pop().args[0] for _ in range(10)]
+    assert order == list(range(10))
+
+
+def test_len_counts_live_events():
+    q = EventQueue()
+    assert len(q) == 0
+    assert not q
+    events = [q.push(float(i), lambda: None) for i in range(4)]
+    assert len(q) == 4
+    q.cancel(events[0])
+    assert len(q) == 3
+    assert q
+
+
+def test_cancelled_events_are_skipped_on_pop():
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: None, "a")
+    q.push(2.0, lambda: None, "b")
+    q.cancel(e1)
+    assert q.pop().args[0] == "b"
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.cancel(e)
+    q.cancel(e)
+    assert len(q) == 1
+
+
+def test_pop_empty_raises():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.pop()
+
+
+def test_pop_all_cancelled_raises():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    q.cancel(e)
+    with pytest.raises(SimulationError):
+        q.pop()
+
+
+def test_peek_time_returns_earliest_live():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.cancel(e)
+    assert q.peek_time() == 2.0
+
+
+def test_peek_empty_raises():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.peek_time()
+
+
+def test_push_nan_time_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.push(float("nan"), lambda: None)
+
+
+def test_push_negative_time_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.push(-0.5, lambda: None)
+
+
+def test_clear_empties_queue():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.clear()
+    assert len(q) == 0
+
+
+def test_event_ordering_dunder():
+    a = Event(time=1.0, seq=0, callback=lambda: None)
+    b = Event(time=1.0, seq=1, callback=lambda: None)
+    c = Event(time=2.0, seq=0, callback=lambda: None)
+    assert a < b < c
+
+
+def test_event_cancel_flag():
+    e = Event(time=1.0, seq=0, callback=lambda: None)
+    assert not e.cancelled
+    e.cancel()
+    assert e.cancelled

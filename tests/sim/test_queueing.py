@@ -1,0 +1,85 @@
+"""Unit tests for the single-server FIFO station."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.queueing import FifoStation
+
+
+def test_idle_station_serves_immediately():
+    station = FifoStation()
+    assert station.submit(10.0, 0.5) == 10.5
+
+
+def test_busy_station_queues_work():
+    station = FifoStation()
+    station.submit(0.0, 1.0)  # busy until 1.0
+    assert station.submit(0.2, 1.0) == 2.0  # waits 0.8, then serves 1.0
+    assert station.submit(0.3, 1.0) == 3.0
+
+
+def test_station_goes_idle_between_bursts():
+    station = FifoStation()
+    station.submit(0.0, 1.0)
+    # Arrives long after the backlog drained: no waiting.
+    assert station.submit(10.0, 1.0) == 11.0
+
+
+def test_zero_service_time_passes_through():
+    station = FifoStation()
+    assert station.submit(5.0, 0.0) == 5.0
+    assert station.busy_until == 5.0
+
+
+def test_negative_arrival_rejected():
+    station = FifoStation()
+    with pytest.raises(SimulationError):
+        station.submit(-1.0, 1.0)
+
+
+def test_negative_service_rejected():
+    station = FifoStation()
+    with pytest.raises(SimulationError):
+        station.submit(1.0, -0.1)
+
+
+def test_queue_delay_reports_backlog():
+    station = FifoStation()
+    station.submit(0.0, 2.0)
+    assert station.queue_delay(0.5) == 1.5
+    assert station.queue_delay(5.0) == 0.0
+
+
+def test_jobs_and_busy_time_accounting():
+    station = FifoStation()
+    station.submit(0.0, 1.0)
+    station.submit(0.0, 2.0)
+    assert station.jobs_served == 2
+    assert station.busy_time == 3.0
+
+
+def test_utilisation():
+    station = FifoStation()
+    station.submit(0.0, 2.0)
+    assert station.utilisation(4.0) == 0.5
+    assert station.utilisation(1.0) == 1.0  # clamped
+    assert station.utilisation(0.0) == 0.0
+
+
+def test_reset_clears_state():
+    station = FifoStation()
+    station.submit(0.0, 5.0)
+    station.reset()
+    assert station.busy_until == 0.0
+    assert station.jobs_served == 0
+    assert station.busy_time == 0.0
+
+
+def test_saturation_grows_backlog_linearly():
+    # Work arrives faster than it can be served: the completion times of
+    # successive jobs must grow without bound -- this is the queueing
+    # behaviour behind the paper's source-overload results.
+    station = FifoStation()
+    completions = [station.submit(float(t), 2.0) for t in range(10)]
+    waits = [c - t - 2.0 for c, t in zip(completions, range(10))]
+    assert waits == [float(i) for i in range(10)]

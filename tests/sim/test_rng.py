@@ -1,0 +1,55 @@
+"""Unit tests for named random streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStreams
+
+
+def test_same_seed_same_stream_reproduces():
+    a = RandomStreams(7).stream("topology").random(10)
+    b = RandomStreams(7).stream("topology").random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(7)
+    a = streams.stream("alpha").random(10)
+    b = streams.stream("beta").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).stream("x").random(10)
+    b = RandomStreams(2).stream("x").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(7)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_spawn_indexed_streams_independent():
+    streams = RandomStreams(7)
+    a = streams.spawn("traces", 0).random(10)
+    b = streams.spawn("traces", 1).random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_spawn_reproducible():
+    a = RandomStreams(7).spawn("traces", 3).random(10)
+    b = RandomStreams(7).spawn("traces", 3).random(10)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_differs_from_plain_stream():
+    streams = RandomStreams(7)
+    a = streams.spawn("traces", 0).random(10)
+    b = streams.stream("traces").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_non_int_seed_rejected():
+    with pytest.raises(TypeError):
+        RandomStreams("seed")  # type: ignore[arg-type]

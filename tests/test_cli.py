@@ -1,0 +1,73 @@
+"""Tests for the ``python -m repro`` CLI and the run_all driver."""
+
+import pytest
+
+from repro.__main__ import build_parser, main as cli_main
+from repro.experiments.run_all import EXPERIMENTS, main as run_all_main
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.preset == "tiny"
+    assert args.policy == "distributed"
+    assert args.t == 80.0
+    assert not args.controlled
+
+
+def test_parser_rejects_unknown_preset():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--preset", "galactic"])
+
+
+def test_parser_rejects_unknown_policy():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--policy", "gossip"])
+
+
+def test_cli_runs_end_to_end(capsys):
+    cli_main(["--preset", "tiny", "--t", "50", "--degree", "3", "--seed", "5"])
+    out = capsys.readouterr().out
+    assert "loss of fidelity" in out
+    assert "degree of cooperation : 3" in out
+
+
+def test_cli_controlled_mode(capsys):
+    cli_main(["--preset", "tiny", "--controlled", "--degree", "20"])
+    out = capsys.readouterr().out
+    assert "Eq. 2 controlled" in out
+
+
+def test_cli_delay_overrides(capsys):
+    cli_main(["--preset", "tiny", "--comm-delay", "40", "--comp-delay", "5"])
+    out = capsys.readouterr().out
+    assert "mean comm delay       : 40.0 ms" in out
+
+
+def test_run_all_knows_every_experiment():
+    assert set(EXPERIMENTS) == {
+        "table1",
+        "figure3",
+        "figure5",
+        "figure6",
+        "figure7",
+        "figure8",
+        "figure9",
+        "figure10",
+        "figure11",
+        "scalability",
+        "sensitivity",
+        "pull_baseline",
+        "hybrid_tradeoff",
+    }
+
+
+def test_run_all_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        run_all_main(["--only", "figure99"])
+
+
+def test_run_all_single_experiment(capsys):
+    run_all_main(["--preset", "tiny", "--only", "table1"])
+    out = capsys.readouterr().out
+    assert "MSFT" in out
+    assert "table1 done" in out

@@ -1,0 +1,55 @@
+"""Smoke tests: every shipped example must run and print its story."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    script = EXAMPLES / f"{name}.py"
+    assert script.exists(), f"missing example {script}"
+    saved_argv = sys.argv
+    sys.argv = [str(script)]
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "loss of fidelity" in out
+    assert "U-curve" in out
+
+
+@pytest.mark.slow
+def test_stock_ticker_dissemination(capsys):
+    out = run_example("stock_ticker_dissemination", capsys)
+    assert "MSFT" in out
+    assert "distributed" in out and "flooding" in out
+
+
+@pytest.mark.slow
+def test_adaptive_cooperation(capsys):
+    out = run_example("adaptive_cooperation", capsys)
+    assert "Eq.2 degree" in out or "Eq. (2)" in out
+
+
+@pytest.mark.slow
+def test_sensor_network(capsys):
+    out = run_example("sensor_network", capsys)
+    assert "forecast" in out and "dashboard" in out
+    assert "loss of fidelity" in out
+
+
+@pytest.mark.slow
+def test_multi_source_feeds(capsys):
+    out = run_example("multi_source_feeds", capsys)
+    assert "sources" in out
+    assert "busiest sender" in out

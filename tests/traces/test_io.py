@@ -1,0 +1,79 @@
+"""Unit tests for trace CSV round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.io import read_trace_csv, write_trace_csv
+from repro.traces.model import Trace
+
+
+def make_trace():
+    return Trace(
+        name="RT",
+        times=np.array([0.0, 1.5, 3.25]),
+        values=np.array([10.01, 10.02, 9.99]),
+    )
+
+
+def test_roundtrip_preserves_data(tmp_path):
+    path = tmp_path / "trace.csv"
+    original = make_trace()
+    write_trace_csv(original, path)
+    loaded = read_trace_csv(path)
+    assert np.array_equal(loaded.times, original.times)
+    assert np.array_equal(loaded.values, original.values)
+
+
+def test_name_defaults_to_stem(tmp_path):
+    path = tmp_path / "msft.csv"
+    write_trace_csv(make_trace(), path)
+    assert read_trace_csv(path).name == "msft"
+
+
+def test_explicit_name(tmp_path):
+    path = tmp_path / "x.csv"
+    write_trace_csv(make_trace(), path)
+    assert read_trace_csv(path, name="CUSTOM").name == "CUSTOM"
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(TraceError):
+        read_trace_csv(path)
+
+
+def test_bad_header_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b\n1,2\n")
+    with pytest.raises(TraceError):
+        read_trace_csv(path)
+
+
+def test_wrong_column_count_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("time_s,value\n1,2,3\n")
+    with pytest.raises(TraceError):
+        read_trace_csv(path)
+
+
+def test_non_numeric_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("time_s,value\n1,abc\n")
+    with pytest.raises(TraceError):
+        read_trace_csv(path)
+
+
+def test_blank_lines_skipped(tmp_path):
+    path = tmp_path / "gaps.csv"
+    path.write_text("time_s,value\n0.0,1.0\n\n1.0,2.0\n")
+    trace = read_trace_csv(path)
+    assert len(trace) == 2
+
+
+def test_header_only_is_empty_trace_error(tmp_path):
+    path = tmp_path / "header.csv"
+    path.write_text("time_s,value\n")
+    with pytest.raises(TraceError):
+        read_trace_csv(path)

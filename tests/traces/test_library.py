@@ -1,0 +1,94 @@
+"""Unit tests for the Table 1 preset library."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+from repro.traces.library import (
+    PAPER_TICKERS,
+    TickerSpec,
+    config_for_spec,
+    make_paper_trace,
+    make_trace_set,
+)
+
+
+def test_all_six_paper_tickers_present():
+    names = [spec.ticker for spec in PAPER_TICKERS]
+    assert names == ["MSFT", "SUNW", "DELL", "QCOM", "INTC", "ORCL"]
+
+
+def test_paper_bands_match_table1():
+    msft = PAPER_TICKERS[0]
+    assert msft.min_price == 60.09
+    assert msft.max_price == 60.85
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        TickerSpec("BAD", 10.0, 9.0)
+    with pytest.raises(ConfigurationError):
+        TickerSpec("BAD", 0.0, 9.0)
+
+
+def test_spec_derived_properties():
+    spec = TickerSpec("X", 10.0, 12.0)
+    assert spec.mid_price == 11.0
+    assert spec.band == 2.0
+
+
+def test_trace_starts_near_mid_price():
+    spec = PAPER_TICKERS[0]
+    trace = make_paper_trace(spec, np.random.default_rng(0), n_samples=1_000)
+    assert trace.values[0] == pytest.approx(spec.mid_price, abs=0.01)
+
+
+def test_trace_stays_in_a_band_comparable_to_table1():
+    # The calibration targets the Table 1 band; allow generous slack but
+    # require the right order of magnitude.
+    for i, spec in enumerate(PAPER_TICKERS):
+        trace = make_paper_trace(spec, np.random.default_rng(i), n_samples=10_000)
+        realised = trace.max_value - trace.min_value
+        assert 0.2 * spec.band < realised < 4.0 * spec.band, spec.ticker
+
+
+def test_trace_meta_carries_table1_band():
+    trace = make_paper_trace(PAPER_TICKERS[1], np.random.default_rng(0), 100)
+    assert trace.meta["table1_min"] == PAPER_TICKERS[1].min_price
+
+
+def test_config_for_spec_reasonable():
+    config = config_for_spec(PAPER_TICKERS[0])
+    assert config.start_price == pytest.approx(60.47)
+    assert config.volatility > 0
+    assert config.tick == 0.01
+
+
+def factory(seed):
+    streams = RandomStreams(seed)
+    return lambda i: streams.spawn("traces", i)
+
+
+def test_make_trace_set_counts_and_names():
+    traces = make_trace_set(10, factory(5), n_samples=500)
+    assert len(traces) == 10
+    assert traces[0].name == "MSFT"
+    assert traces[6].name == "SYN006"
+
+
+def test_make_trace_set_more_than_presets():
+    traces = make_trace_set(8, factory(5), n_samples=200)
+    assert all(len(t) == 200 for t in traces)
+
+
+def test_make_trace_set_reproducible():
+    a = make_trace_set(3, factory(7), n_samples=300)
+    b = make_trace_set(3, factory(7), n_samples=300)
+    for x, y in zip(a, b):
+        assert np.array_equal(x.values, y.values)
+
+
+def test_make_trace_set_rejects_zero():
+    with pytest.raises(ConfigurationError):
+        make_trace_set(0, factory(1))

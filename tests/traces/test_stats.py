@@ -1,0 +1,58 @@
+"""Unit tests for Table-1-style trace summaries."""
+
+import numpy as np
+import pytest
+
+from repro.traces.model import Trace
+from repro.traces.stats import format_table1, summarize
+
+
+def make_trace():
+    return Trace(
+        name="S",
+        times=np.array([0.0, 1.0, 2.0, 3.0, 4.0]),
+        values=np.array([10.0, 10.0, 10.5, 10.5, 9.8]),
+    )
+
+
+def test_summarize_basic_fields():
+    stats = summarize(make_trace())
+    assert stats.name == "S"
+    assert stats.n_samples == 5
+    assert stats.span_s == 4.0
+    assert stats.min_value == 9.8
+    assert stats.max_value == 10.5
+    assert stats.band == pytest.approx(0.7)
+
+
+def test_summarize_change_statistics():
+    stats = summarize(make_trace())
+    assert stats.n_changes == 2  # 10->10.5 and 10.5->9.8
+    assert stats.change_rate == 0.5
+    assert stats.mean_abs_jump == pytest.approx((0.5 + 0.7) / 2)
+    assert stats.max_abs_jump == pytest.approx(0.7)
+
+
+def test_summarize_constant_trace():
+    trace = Trace(
+        name="C", times=np.array([0.0, 1.0]), values=np.array([3.0, 3.0])
+    )
+    stats = summarize(trace)
+    assert stats.n_changes == 0
+    assert stats.change_rate == 0.0
+    assert stats.mean_abs_jump == 0.0
+
+
+def test_summarize_single_sample():
+    trace = Trace(name="O", times=np.array([0.0]), values=np.array([1.0]))
+    stats = summarize(trace)
+    assert stats.n_changes == 0
+    assert stats.change_rate == 0.0
+
+
+def test_format_table1_contains_all_rows():
+    stats = [summarize(make_trace())]
+    text = format_table1(stats)
+    assert "Ticker" in text
+    assert "S" in text
+    assert len(text.splitlines()) == 3

@@ -1,0 +1,84 @@
+"""Unit tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+
+def gen(seed=0, **kwargs):
+    config = SyntheticTraceConfig(**kwargs)
+    return generate_trace("X", config, np.random.default_rng(seed))
+
+
+def test_length_and_timestamps():
+    trace = gen(n_samples=500, interval_s=1.0)
+    assert len(trace) == 500
+    assert trace.times[0] == 0.0
+    assert np.allclose(np.diff(trace.times), 1.0)
+
+
+def test_prices_on_tick_grid():
+    trace = gen(n_samples=2_000, tick=0.01)
+    remainder = np.abs(trace.values / 0.01 - np.round(trace.values / 0.01))
+    assert (remainder < 1e-6).all()
+
+
+def test_prices_stay_positive():
+    trace = gen(n_samples=5_000, start_price=0.05, volatility=0.5, tick=0.01)
+    assert (trace.values >= 0.01).all()
+
+
+def test_first_value_is_start_price():
+    trace = gen(start_price=42.0)
+    assert trace.values[0] == 42.0
+
+
+def test_reproducible_given_seed():
+    a, b = gen(seed=9), gen(seed=9)
+    assert np.array_equal(a.values, b.values)
+
+
+def test_seeds_differ():
+    a, b = gen(seed=1, n_samples=500), gen(seed=2, n_samples=500)
+    assert not np.array_equal(a.values, b.values)
+
+
+def test_change_probability_controls_activity():
+    quiet = gen(seed=3, n_samples=3_000, change_probability=0.05)
+    busy = gen(seed=3, n_samples=3_000, change_probability=0.9)
+    quiet_changes = np.count_nonzero(np.diff(quiet.values))
+    busy_changes = np.count_nonzero(np.diff(busy.values))
+    assert busy_changes > 3 * quiet_changes
+
+
+def test_mean_reversion_bounds_excursions():
+    wanderer = gen(seed=4, n_samples=10_000, reversion=0.0, volatility=0.05)
+    reverter = gen(seed=4, n_samples=10_000, reversion=0.2, volatility=0.05)
+    assert reverter.values.std() < wanderer.values.std()
+
+
+def test_metadata_recorded():
+    trace = gen()
+    assert trace.meta["synthetic"] is True
+    assert "volatility" in trace.meta
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n_samples": 0},
+        {"interval_s": 0.0},
+        {"start_price": -1.0},
+        {"volatility": -0.1},
+        {"reversion": 1.0},
+        {"reversion": -0.1},
+        {"tick": 0.0},
+        {"change_probability": 0.0},
+        {"change_probability": 1.5},
+    ],
+)
+def test_invalid_config_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        gen(**kwargs)

@@ -1,0 +1,97 @@
+"""Unit tests for the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.model import Trace
+
+
+def make_trace():
+    return Trace(
+        name="T", times=np.array([0.0, 1.0, 2.0, 3.0]), values=np.array([10.0, 10.5, 10.5, 11.0])
+    )
+
+
+def test_basic_properties():
+    trace = make_trace()
+    assert len(trace) == 4
+    assert trace.initial_value == 10.0
+    assert trace.span == 3.0
+    assert trace.min_value == 10.0
+    assert trace.max_value == 11.0
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(TraceError):
+        Trace(name="E", times=np.array([]), values=np.array([]))
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(TraceError):
+        Trace(name="M", times=np.array([0.0, 1.0]), values=np.array([1.0]))
+
+
+def test_non_increasing_times_rejected():
+    with pytest.raises(TraceError):
+        Trace(name="D", times=np.array([0.0, 0.0]), values=np.array([1.0, 2.0]))
+    with pytest.raises(TraceError):
+        Trace(name="D", times=np.array([1.0, 0.5]), values=np.array([1.0, 2.0]))
+
+
+def test_non_finite_rejected():
+    with pytest.raises(TraceError):
+        Trace(name="N", times=np.array([0.0, 1.0]), values=np.array([1.0, np.nan]))
+    with pytest.raises(TraceError):
+        Trace(name="N", times=np.array([0.0, np.inf]), values=np.array([1.0, 2.0]))
+
+
+def test_multidimensional_rejected():
+    with pytest.raises(TraceError):
+        Trace(name="X", times=np.zeros((2, 2)), values=np.zeros((2, 2)))
+
+
+def test_changes_drops_repeats_keeps_first():
+    changes = make_trace().changes()
+    assert list(changes.times) == [0.0, 1.0, 3.0]
+    assert list(changes.values) == [10.0, 10.5, 11.0]
+
+
+def test_changes_of_single_sample():
+    trace = Trace(name="S", times=np.array([0.0]), values=np.array([5.0]))
+    assert len(trace.changes()) == 1
+
+
+def test_changes_of_constant_trace_is_single_sample():
+    trace = Trace(
+        name="C", times=np.array([0.0, 1.0, 2.0]), values=np.array([5.0, 5.0, 5.0])
+    )
+    assert len(trace.changes()) == 1
+
+
+def test_value_at_step_semantics():
+    trace = make_trace()
+    assert trace.value_at(0.0) == 10.0
+    assert trace.value_at(0.99) == 10.0
+    assert trace.value_at(1.0) == 10.5
+    assert trace.value_at(99.0) == 11.0
+
+
+def test_value_at_before_start_rejected():
+    with pytest.raises(TraceError):
+        make_trace().value_at(-0.1)
+
+
+def test_slice_prefix():
+    sliced = make_trace().slice(2)
+    assert len(sliced) == 2
+    assert list(sliced.values) == [10.0, 10.5]
+
+
+def test_slice_longer_than_trace_is_whole_trace():
+    assert len(make_trace().slice(100)) == 4
+
+
+def test_slice_invalid_rejected():
+    with pytest.raises(TraceError):
+        make_trace().slice(0)
