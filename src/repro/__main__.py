@@ -1,10 +1,11 @@
-"""Command-line entry point: run one dissemination simulation.
+"""Command-line entry point: run one dissemination simulation or sweep.
 
 Examples::
 
     python -m repro                              # tiny preset, defaults
     python -m repro --preset small --t 100 --degree 8 --policy centralized
     python -m repro --controlled --offered 100   # Eq. (2) picks the degree
+    python -m repro --degrees 1,2,4,8 --jobs 4   # parallel degree sweep
 """
 
 from __future__ import annotations
@@ -12,10 +13,29 @@ from __future__ import annotations
 import argparse
 
 from repro.core.dissemination import available_policies
-from repro.engine import SCALE_PRESETS, run_simulation
+from repro.engine import SCALE_PRESETS, run_simulation, run_sweep
 from repro.experiments.runner import preset_config
 
 __all__ = ["main"]
+
+
+def _degree_list(text: str) -> list[int]:
+    try:
+        return [int(d) for d in text.split(",") if d.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+
+
+def _job_count(text: str) -> int:
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if jobs < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 = one worker per CPU)")
+    return jobs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,6 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--degree", type=int, default=None, metavar="N",
         help="offered degree of cooperation (default: preset value)",
+    )
+    parser.add_argument(
+        "--degrees", type=_degree_list, default=None, metavar="N,N,...",
+        help="comma-separated degree sweep; one summary line per degree "
+        "(runs through the parallel sweep subsystem)",
+    )
+    parser.add_argument(
+        "--jobs", type=_job_count, default=1, metavar="N",
+        help="worker processes for --degrees sweeps (1 = serial, "
+        "0 = one per CPU); results are bit-identical for every value",
     )
     parser.add_argument(
         "--controlled", action="store_true",
@@ -75,6 +105,17 @@ def main(argv: list[str] | None = None) -> None:
         overrides["seed"] = args.seed
 
     config = preset_config(args.preset, **overrides)
+
+    if args.degrees is not None:
+        degrees = args.degrees
+        configs = [config.with_(offered_degree=d) for d in degrees]
+        results = run_sweep(configs, jobs=args.jobs)
+        print(f"preset={args.preset} policy={args.policy} T={args.t:.0f}% "
+              f"jobs={args.jobs}")
+        for degree, result in zip(degrees, results):
+            print(f"degree={degree:<4d} {result.summary()}")
+        return
+
     result = run_simulation(config)
 
     print(f"preset={args.preset} policy={args.policy} T={args.t:.0f}%")

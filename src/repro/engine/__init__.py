@@ -11,6 +11,7 @@ from repro.engine.config import SCALE_PRESETS, SimulationConfig
 from repro.engine.builder import SimulationSetup, build_setup
 from repro.engine.results import SimulationResult
 from repro.engine.simulation import DisseminationSimulation, run_simulation
+from repro.engine.sweep import resolve_jobs, run_sweep
 
 __all__ = [
     "SimulationConfig",
@@ -20,4 +21,6 @@ __all__ = [
     "SimulationResult",
     "DisseminationSimulation",
     "run_simulation",
+    "resolve_jobs",
+    "run_sweep",
 ]

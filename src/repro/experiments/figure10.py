@@ -21,6 +21,7 @@ def run(
     degrees: list[int] | None = None,
     t_percent: float = 80.0,
     policy: str = "centralized",
+    jobs: int | None = 1,
     **overrides,
 ) -> ExperimentResult:
     """Sweep degree for P1/P2, plain and controlled."""
@@ -33,21 +34,25 @@ def run(
         ylabel="loss of fidelity (%)",
         xs=[float(d) for d in degrees],
     )
-    for controlled, suffix in ((False, ""), (True, "W")):
-        for pref in ("p1", "p2"):
-            configs = [
-                base.with_(
-                    preference=pref,
-                    offered_degree=d,
-                    policy=policy,
-                    controlled_cooperation=controlled,
-                )
-                for d in degrees
-            ]
-            losses, _ = sweep(configs)
-            result.series.append(
-                Series(label=f"{pref.upper()}{suffix}", ys=losses)
-            )
+    rows = [
+        (controlled, suffix, pref)
+        for controlled, suffix in ((False, ""), (True, "W"))
+        for pref in ("p1", "p2")
+    ]
+    configs = [
+        base.with_(
+            preference=pref,
+            offered_degree=d,
+            policy=policy,
+            controlled_cooperation=controlled,
+        )
+        for controlled, _suffix, pref in rows
+        for d in degrees
+    ]
+    losses, _ = sweep(configs, jobs=jobs)
+    for row, (_controlled, suffix, pref) in enumerate(rows):
+        ys = losses[row * len(degrees):(row + 1) * len(degrees)]
+        result.series.append(Series(label=f"{pref.upper()}{suffix}", ys=ys))
     return result
 
 

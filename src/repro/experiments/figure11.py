@@ -14,8 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.engine.builder import build_setup
-from repro.engine.simulation import run_simulation
+from repro.engine.sweep import run_sweep
 from repro.experiments.runner import preset_config
 
 __all__ = ["Figure11Result", "run", "main"]
@@ -52,6 +51,7 @@ def run(
     t_percent: float = 80.0,
     controlled_cooperation: bool = True,
     offered_degree: int | None = None,
+    jobs: int | None = 1,
     **overrides,
 ) -> Figure11Result:
     """Run both exact policies over the identical workload and tree."""
@@ -60,12 +60,10 @@ def run(
         base = base.with_(offered_degree=offered_degree)
     base = base.with_(controlled_cooperation=controlled_cooperation)
 
-    central_cfg = base.with_(policy="centralized")
-    central_setup = build_setup(central_cfg)
-    central = run_simulation(central_cfg, setup=central_setup)
-
-    dist_cfg = base.with_(policy="distributed")
-    dist = run_simulation(dist_cfg, base=central_setup)
+    central, dist = run_sweep(
+        [base.with_(policy="centralized"), base.with_(policy="distributed")],
+        jobs=jobs,
+    )
 
     return Figure11Result(
         centralized_source_checks=central.counters.source_checks,

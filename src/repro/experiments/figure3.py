@@ -33,6 +33,7 @@ def run(
     t_values: tuple[float, ...] = DEFAULT_T_VALUES,
     degrees: list[int] | None = None,
     policy: str = "centralized",
+    jobs: int | None = 1,
     **overrides,
 ) -> ExperimentResult:
     """Sweep (T, degree) and collect system loss of fidelity."""
@@ -45,14 +46,18 @@ def run(
         ylabel="loss of fidelity (%)",
         xs=[float(d) for d in degrees],
     )
-    for t in t_values:
-        configs = [
-            base.with_(t_percent=t, offered_degree=d, policy=policy,
-                       controlled_cooperation=False)
-            for d in degrees
-        ]
-        losses, _ = sweep(configs)
-        result.series.append(Series(label=f"T={t:.0f}", ys=losses))
+    # One flat (T x degree) grid => one sweep call, so a parallel run
+    # fans out over every point of every curve at once.
+    configs = [
+        base.with_(t_percent=t, offered_degree=d, policy=policy,
+                   controlled_cooperation=False)
+        for t in t_values
+        for d in degrees
+    ]
+    losses, _ = sweep(configs, jobs=jobs)
+    for row, t in enumerate(t_values):
+        ys = losses[row * len(degrees):(row + 1) * len(degrees)]
+        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
     return result
 
 

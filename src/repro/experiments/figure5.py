@@ -24,6 +24,7 @@ def run(
     t_values: tuple[float, ...] = DEFAULT_T_VALUES,
     comm_delays_ms: tuple[float, ...] = DEFAULT_COMM_DELAYS,
     policy: str = "centralized",
+    jobs: int | None = 1,
     **overrides,
 ) -> ExperimentResult:
     """Sweep (T, mean comm delay) with the source serving everyone."""
@@ -35,19 +36,21 @@ def run(
         ylabel="loss of fidelity (%)",
         xs=list(comm_delays_ms),
     )
-    for t in t_values:
-        configs = [
-            base.with_(
-                t_percent=t,
-                offered_degree=no_coop_degree,
-                comm_target_ms=delay,
-                policy=policy,
-                controlled_cooperation=False,
-            )
-            for delay in comm_delays_ms
-        ]
-        losses, _ = sweep(configs)
-        result.series.append(Series(label=f"T={t:.0f}", ys=losses))
+    configs = [
+        base.with_(
+            t_percent=t,
+            offered_degree=no_coop_degree,
+            comm_target_ms=delay,
+            policy=policy,
+            controlled_cooperation=False,
+        )
+        for t in t_values
+        for delay in comm_delays_ms
+    ]
+    losses, _ = sweep(configs, jobs=jobs)
+    for row, t in enumerate(t_values):
+        ys = losses[row * len(comm_delays_ms):(row + 1) * len(comm_delays_ms)]
+        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
     return result
 
 

@@ -24,6 +24,7 @@ def run(
     t_values: tuple[float, ...] = DEFAULT_T_VALUES,
     comp_delays_ms: tuple[float, ...] = DEFAULT_COMP_DELAYS,
     policy: str = "centralized",
+    jobs: int | None = 1,
     **overrides,
 ) -> ExperimentResult:
     """Sweep (T, comp delay) with the source serving everyone."""
@@ -35,19 +36,21 @@ def run(
         ylabel="loss of fidelity (%)",
         xs=list(comp_delays_ms),
     )
-    for t in t_values:
-        configs = [
-            base.with_(
-                t_percent=t,
-                offered_degree=no_coop_degree,
-                comp_delay_ms=delay,
-                policy=policy,
-                controlled_cooperation=False,
-            )
-            for delay in comp_delays_ms
-        ]
-        losses, _ = sweep(configs)
-        result.series.append(Series(label=f"T={t:.0f}", ys=losses))
+    configs = [
+        base.with_(
+            t_percent=t,
+            offered_degree=no_coop_degree,
+            comp_delay_ms=delay,
+            policy=policy,
+            controlled_cooperation=False,
+        )
+        for t in t_values
+        for delay in comp_delays_ms
+    ]
+    losses, _ = sweep(configs, jobs=jobs)
+    for row, t in enumerate(t_values):
+        ys = losses[row * len(comp_delays_ms):(row + 1) * len(comp_delays_ms)]
+        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
     return result
 
 

@@ -28,6 +28,7 @@ def run_base_case(
     t_values: tuple[float, ...] = DEFAULT_T_VALUES,
     degrees: list[int] | None = None,
     policy: str = "centralized",
+    jobs: int | None = 1,
     **overrides,
 ) -> ExperimentResult:
     """Panel (a): offered-resources sweep under Eq. (2) clamping."""
@@ -40,17 +41,19 @@ def run_base_case(
         ylabel="loss of fidelity (%)",
         xs=[float(d) for d in degrees],
     )
-    effective = None
-    for t in t_values:
-        configs = [
-            base.with_(t_percent=t, offered_degree=d, policy=policy,
-                       controlled_cooperation=True)
-            for d in degrees
-        ]
-        losses, runs = sweep(configs)
-        result.series.append(Series(label=f"T={t:.0f}", ys=losses))
-        effective = runs[-1].effective_degree
-    result.notes["coopDegree (Eq. 2 clamp at max offered)"] = effective
+    configs = [
+        base.with_(t_percent=t, offered_degree=d, policy=policy,
+                   controlled_cooperation=True)
+        for t in t_values
+        for d in degrees
+    ]
+    losses, runs = sweep(configs, jobs=jobs)
+    for row, t in enumerate(t_values):
+        ys = losses[row * len(degrees):(row + 1) * len(degrees)]
+        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
+    result.notes["coopDegree (Eq. 2 clamp at max offered)"] = (
+        runs[-1].effective_degree if runs else None
+    )
     return result
 
 
@@ -59,6 +62,7 @@ def run_comm_sweep(
     t_values: tuple[float, ...] = DEFAULT_T_VALUES,
     comm_delays_ms: tuple[float, ...] = DEFAULT_COMM_DELAYS,
     policy: str = "centralized",
+    jobs: int | None = 1,
     **overrides,
 ) -> ExperimentResult:
     """Panel (b): comm-delay sweep, degree adapted by Eq. (2)."""
@@ -69,22 +73,24 @@ def run_comm_sweep(
         ylabel="loss of fidelity (%)",
         xs=list(comm_delays_ms),
     )
-    degrees_used: list[int] = []
-    for t in t_values:
-        configs = [
-            base.with_(
-                t_percent=t,
-                offered_degree=base.n_repositories,
-                comm_target_ms=delay,
-                policy=policy,
-                controlled_cooperation=True,
-            )
-            for delay in comm_delays_ms
-        ]
-        losses, runs = sweep(configs)
-        result.series.append(Series(label=f"T={t:.0f}", ys=losses))
-        degrees_used = [r.effective_degree for r in runs]
-    result.notes["Eq. (2) degrees along the sweep"] = degrees_used
+    configs = [
+        base.with_(
+            t_percent=t,
+            offered_degree=base.n_repositories,
+            comm_target_ms=delay,
+            policy=policy,
+            controlled_cooperation=True,
+        )
+        for t in t_values
+        for delay in comm_delays_ms
+    ]
+    losses, runs = sweep(configs, jobs=jobs)
+    for row, t in enumerate(t_values):
+        ys = losses[row * len(comm_delays_ms):(row + 1) * len(comm_delays_ms)]
+        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
+    result.notes["Eq. (2) degrees along the sweep"] = [
+        r.effective_degree for r in runs[-len(comm_delays_ms):]
+    ]
     return result
 
 
@@ -93,6 +99,7 @@ def run_comp_sweep(
     t_values: tuple[float, ...] = DEFAULT_T_VALUES,
     comp_delays_ms: tuple[float, ...] = DEFAULT_COMP_DELAYS,
     policy: str = "centralized",
+    jobs: int | None = 1,
     **overrides,
 ) -> ExperimentResult:
     """Panel (c): comp-delay sweep, degree adapted by Eq. (2)."""
@@ -103,22 +110,24 @@ def run_comp_sweep(
         ylabel="loss of fidelity (%)",
         xs=list(comp_delays_ms),
     )
-    degrees_used: list[int] = []
-    for t in t_values:
-        configs = [
-            base.with_(
-                t_percent=t,
-                offered_degree=base.n_repositories,
-                comp_delay_ms=delay,
-                policy=policy,
-                controlled_cooperation=True,
-            )
-            for delay in comp_delays_ms
-        ]
-        losses, runs = sweep(configs)
-        result.series.append(Series(label=f"T={t:.0f}", ys=losses))
-        degrees_used = [r.effective_degree for r in runs]
-    result.notes["Eq. (2) degrees along the sweep"] = degrees_used
+    configs = [
+        base.with_(
+            t_percent=t,
+            offered_degree=base.n_repositories,
+            comp_delay_ms=delay,
+            policy=policy,
+            controlled_cooperation=True,
+        )
+        for t in t_values
+        for delay in comp_delays_ms
+    ]
+    losses, runs = sweep(configs, jobs=jobs)
+    for row, t in enumerate(t_values):
+        ys = losses[row * len(comp_delays_ms):(row + 1) * len(comp_delays_ms)]
+        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
+    result.notes["Eq. (2) degrees along the sweep"] = [
+        r.effective_degree for r in runs[-len(comp_delays_ms):]
+    ]
     return result
 
 

@@ -24,6 +24,7 @@ __all__ = ["run", "main"]
 def run(
     preset: str = "small",
     degrees: list[int] | None = None,
+    jobs: int | None = 1,
     **overrides,
 ) -> ExperimentResult:
     """Sweep degree for the flooding and filtered systems."""
@@ -36,20 +37,16 @@ def run(
         ylabel="loss of fidelity (%)",
         xs=[float(d) for d in degrees],
     )
-    flood_configs = [
-        base.with_(t_percent=0.0, offered_degree=d, policy="flooding",
+    configs = [
+        base.with_(t_percent=0.0, offered_degree=d, policy=policy,
                    controlled_cooperation=False)
+        for policy in ("flooding", "distributed")
         for d in degrees
     ]
-    flood_losses, flood_runs = sweep(flood_configs)
+    losses, runs = sweep(configs, jobs=jobs)
+    flood_losses, filtered_losses = losses[:len(degrees)], losses[len(degrees):]
+    flood_runs, filtered_runs = runs[:len(degrees)], runs[len(degrees):]
     result.series.append(Series(label="All updates", ys=flood_losses))
-
-    filtered_configs = [
-        base.with_(t_percent=0.0, offered_degree=d, policy="distributed",
-                   controlled_cooperation=False)
-        for d in degrees
-    ]
-    filtered_losses, filtered_runs = sweep(filtered_configs)
     result.series.append(Series(label="Filtered", ys=filtered_losses))
 
     result.notes["messages (all updates, max degree)"] = flood_runs[-1].messages

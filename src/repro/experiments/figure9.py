@@ -28,6 +28,7 @@ def run(
     degrees: list[int] | None = None,
     t_percent: float = 80.0,
     policy: str = "centralized",
+    jobs: int | None = 1,
     **overrides,
 ) -> ExperimentResult:
     """Sweep (P%, degree), with and without controlled cooperation."""
@@ -40,19 +41,25 @@ def run(
         ylabel="loss of fidelity (%)",
         xs=[float(d) for d in degrees],
     )
-    for controlled, suffix in ((False, ""), (True, "W")):
-        for p in p_values:
-            configs = [
-                base.with_(
-                    p_percent=p,
-                    offered_degree=d,
-                    policy=policy,
-                    controlled_cooperation=controlled,
-                )
-                for d in degrees
-            ]
-            losses, _ = sweep(configs)
-            result.series.append(Series(label=f"P={p:.0f}{suffix}", ys=losses))
+    rows = [
+        (controlled, suffix, p)
+        for controlled, suffix in ((False, ""), (True, "W"))
+        for p in p_values
+    ]
+    configs = [
+        base.with_(
+            p_percent=p,
+            offered_degree=d,
+            policy=policy,
+            controlled_cooperation=controlled,
+        )
+        for controlled, _suffix, p in rows
+        for d in degrees
+    ]
+    losses, _ = sweep(configs, jobs=jobs)
+    for row, (_controlled, suffix, p) in enumerate(rows):
+        ys = losses[row * len(degrees):(row + 1) * len(degrees)]
+        result.series.append(Series(label=f"P={p:.0f}{suffix}", ys=ys))
     return result
 
 

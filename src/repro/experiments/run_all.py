@@ -11,6 +11,7 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro.__main__ import _job_count
 from repro.experiments import (
     figure3,
     figure5,
@@ -29,26 +30,38 @@ from repro.experiments import (
 
 __all__ = ["EXPERIMENTS", "main"]
 
+#: Experiment drivers.  Each takes ``(preset, jobs)``; the ones whose
+#: workload is not a :class:`SimulationConfig` sweep (table1's trace
+#: statistics, the pull/hybrid extensions with their own drivers) run
+#: serially and ignore ``jobs``.
 EXPERIMENTS = {
-    "table1": lambda preset: table1.main(),
-    "figure3": lambda preset: figure3.main(preset=preset),
-    "figure5": lambda preset: figure5.main(preset=preset),
-    "figure6": lambda preset: figure6.main(preset=preset),
-    "figure7": lambda preset: figure7.main(preset=preset),
-    "figure8": lambda preset: figure8.main(preset=preset),
-    "figure9": lambda preset: figure9.main(preset=preset),
-    "figure10": lambda preset: figure10.main(preset=preset),
-    "figure11": lambda preset: figure11.main(preset=preset),
-    "scalability": lambda preset: scalability.main(preset=preset),
-    "sensitivity": lambda preset: sensitivity.main(preset=preset),
-    "pull_baseline": lambda preset: pull_baseline.main(preset=preset),
-    "hybrid_tradeoff": lambda preset: hybrid_tradeoff.main(preset=preset),
+    "table1": lambda preset, jobs: table1.main(),
+    "figure3": lambda preset, jobs: figure3.main(preset=preset, jobs=jobs),
+    "figure5": lambda preset, jobs: figure5.main(preset=preset, jobs=jobs),
+    "figure6": lambda preset, jobs: figure6.main(preset=preset, jobs=jobs),
+    "figure7": lambda preset, jobs: figure7.main(preset=preset, jobs=jobs),
+    "figure8": lambda preset, jobs: figure8.main(preset=preset, jobs=jobs),
+    "figure9": lambda preset, jobs: figure9.main(preset=preset, jobs=jobs),
+    "figure10": lambda preset, jobs: figure10.main(preset=preset, jobs=jobs),
+    "figure11": lambda preset, jobs: figure11.main(preset=preset, jobs=jobs),
+    "scalability": lambda preset, jobs: scalability.main(preset=preset, jobs=jobs),
+    "sensitivity": lambda preset, jobs: sensitivity.main(preset=preset, jobs=jobs),
+    "pull_baseline": lambda preset, jobs: pull_baseline.main(preset=preset),
+    "hybrid_tradeoff": lambda preset, jobs: hybrid_tradeoff.main(preset=preset),
 }
 
 
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--preset", default="small", help="tiny | small | paper")
+    parser.add_argument(
+        "--jobs",
+        type=_job_count,
+        default=1,
+        metavar="N",
+        help="worker processes per sweep (1 = serial, 0 = one per CPU); "
+        "results are bit-identical for every value",
+    )
     parser.add_argument(
         "--only",
         nargs="*",
@@ -65,7 +78,7 @@ def main(argv: list[str] | None = None) -> None:
     for name in names:
         start = time.time()
         print(f"\n{'=' * 72}\nRunning {name} (preset={args.preset})\n{'=' * 72}")
-        EXPERIMENTS[name](args.preset)
+        EXPERIMENTS[name](args.preset, args.jobs)
         print(f"[{name} done in {time.time() - start:.1f}s]")
 
 

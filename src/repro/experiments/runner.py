@@ -5,10 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from repro.engine.builder import SimulationSetup, build_setup
 from repro.engine.config import SCALE_PRESETS, SimulationConfig
 from repro.engine.results import SimulationResult
-from repro.engine.simulation import run_simulation
+from repro.engine.sweep import run_sweep
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -69,22 +68,22 @@ def preset_config(preset: str, **overrides) -> SimulationConfig:
 def sweep(
     configs: Iterable[SimulationConfig],
     metric: Callable[[SimulationResult], float] = lambda r: r.loss_of_fidelity,
+    jobs: int | None = 1,
 ) -> tuple[list[float], list[SimulationResult]]:
     """Run a sequence of configs, recycling setup pieces between runs.
+
+    Args:
+        configs: Sweep points, in output order.
+        metric: Scalar extracted from each result for the curve.
+        jobs: Worker processes (``1`` = serial in-process; ``None``/``0``
+            = one per CPU).  Results are bit-identical for every value --
+            see :mod:`repro.engine.sweep`.
 
     Returns:
         ``(metric values, full results)`` in input order.
     """
-    values: list[float] = []
-    results: list[SimulationResult] = []
-    base: SimulationSetup | None = None
-    for config in configs:
-        setup = build_setup(config, base=base)
-        base = setup
-        result = run_simulation(config, setup=setup)
-        values.append(metric(result))
-        results.append(result)
-    return values, results
+    results = run_sweep(configs, jobs=jobs)
+    return [metric(r) for r in results], results
 
 
 def report(result: ExperimentResult, chart: bool = True) -> str:

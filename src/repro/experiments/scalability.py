@@ -23,6 +23,7 @@ def run(
     repo_counts: tuple[int, ...] | None = None,
     t_percent: float = 80.0,
     policy: str = "distributed",
+    jobs: int | None = 1,
     **overrides,
 ) -> ExperimentResult:
     """Sweep the repository count under controlled cooperation."""
@@ -46,7 +47,7 @@ def run(
         )
         for n in repo_counts
     ]
-    losses, runs = sweep(configs)
+    losses, runs = sweep(configs, jobs=jobs)
     result.series.append(Series(label="controlled cooperation", ys=losses))
     result.series.append(
         Series(label="d3t diameter (hops)", ys=[float(r.tree_stats.diameter_hops) for r in runs])

@@ -22,6 +22,7 @@ def run_f_sensitivity(
     preset: str = "small",
     f_values: tuple[float, ...] = DEFAULT_F_VALUES,
     t_percent: float = 80.0,
+    jobs: int | None = 1,
     **overrides,
 ) -> ExperimentResult:
     """Loss of fidelity vs. Eq. (2)'s f under controlled cooperation."""
@@ -34,7 +35,7 @@ def run_f_sensitivity(
         )
         for f in f_values
     ]
-    losses, runs = sweep(configs)
+    losses, runs = sweep(configs, jobs=jobs)
     result = ExperimentResult(
         name="Ablation: sensitivity to Eq. (2)'s interest fraction f",
         xlabel="f",
@@ -56,6 +57,7 @@ def run_f_sensitivity(
 def run_eq7_ablation(
     preset: str = "small",
     t_percent: float = 80.0,
+    jobs: int | None = 1,
     **overrides,
 ) -> ExperimentResult:
     """Distributed policy with vs. without the Eq. (7) guard."""
@@ -63,7 +65,7 @@ def run_eq7_ablation(
         preset, t_percent=t_percent, controlled_cooperation=True, **overrides
     )
     configs = [base.with_(policy="distributed"), base.with_(policy="eq3_only")]
-    losses, runs = sweep(configs)
+    losses, runs = sweep(configs, jobs=jobs)
     result = ExperimentResult(
         name="Ablation: the Eq. (7) missed-update guard",
         xlabel="policy (0=distributed, 1=eq3_only)",

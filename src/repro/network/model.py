@@ -28,10 +28,16 @@ class NetworkModel:
     Attributes:
         topology: The underlying random physical graph.
         routing: Dense all-pairs routing tables over that graph.
+        raw: The unscaled network this one was derived from by uniform
+            delay scaling (``None`` when this network *is* the raw one).
+            Rescaling always starts from ``raw``, so a chain of rescales
+            is bit-identical to a single rescale of the original --
+            the property the sweep layer's determinism guarantee needs.
     """
 
     topology: Topology
     routing: RoutingTables
+    raw: "NetworkModel | None" = None
 
     @property
     def source(self) -> int:
@@ -92,10 +98,9 @@ class NetworkModel:
         """
         current_mean = float(self.topology.delays_ms.mean())
         if mean_ms <= 0.0 or current_mean <= 0.0:
-            factor = 0.0
-        else:
-            factor = mean_ms / current_mean
-        return self._uniformly_scaled(factor)
+            return self._uniformly_scaled(0.0)
+        raw = self.raw or self
+        return self._uniformly_scaled(mean_ms / float(raw.topology.delays_ms.mean()))
 
     def with_repo_mean_delay(self, target_ms: float) -> "NetworkModel":
         """Rescale so the *repository-to-repository* mean delay hits a target.
@@ -107,21 +112,27 @@ class NetworkModel:
         current = self.mean_repo_delay_ms()
         if target_ms <= 0.0 or current <= 0.0:
             return self._uniformly_scaled(0.0)
-        return self._uniformly_scaled(target_ms / current)
+        raw = self.raw or self
+        return self._uniformly_scaled(target_ms / raw.mean_repo_delay_ms())
 
     def _uniformly_scaled(self, factor: float) -> "NetworkModel":
+        # Scale from the raw arrays, never from already-scaled ones:
+        # float multiplication does not compose exactly, so chained
+        # rescales would otherwise drift in the last bits and make a
+        # recycled sweep setup differ from a freshly built one.
+        raw = self.raw or self
         topo = Topology(
-            n_repositories=self.topology.n_repositories,
-            n_routers=self.topology.n_routers,
-            edges=self.topology.edges.copy(),
-            delays_ms=self.topology.delays_ms * factor,
+            n_repositories=raw.topology.n_repositories,
+            n_routers=raw.topology.n_routers,
+            edges=raw.topology.edges.copy(),
+            delays_ms=raw.topology.delays_ms * factor,
         )
         routing = RoutingTables(
-            dist_ms=self.routing.dist_ms * factor,
-            hops=self.routing.hops.copy(),
-            next_hop=self.routing.next_hop.copy(),
+            dist_ms=raw.routing.dist_ms * factor,
+            hops=raw.routing.hops.copy(),
+            next_hop=raw.routing.next_hop.copy(),
         )
-        return NetworkModel(topology=topo, routing=routing)
+        return NetworkModel(topology=topo, routing=routing, raw=raw)
 
 
 def build_network(

@@ -30,6 +30,18 @@ def test_deliveries():
     assert counters.deliveries == 2
 
 
+def test_drops_accumulate_independently_of_deliveries():
+    counters = CostCounters()
+    counters.record_message(0, is_source=True)
+    counters.record_message(0, is_source=True)
+    counters.record_delivery()
+    counters.record_drop()
+    assert counters.drops == 1
+    assert counters.deliveries == 1
+    # The lossy-network identity: sent = delivered + dropped.
+    assert counters.deliveries + counters.drops == counters.messages
+
+
 def test_busiest_sender():
     counters = CostCounters()
     assert counters.busiest_sender() is None

@@ -261,6 +261,36 @@ def test_sensitivity_eq7_guard_helps():
     assert eq3_loss >= distributed_loss
 
 
+def test_figure3_parallel_is_bit_identical_to_serial():
+    """Acceptance check: the same figure regenerated at jobs=4 equals the
+    serial regeneration bit for bit (dataclass equality compares every
+    loss with exact float ==)."""
+    kwargs = dict(
+        preset="tiny",
+        t_values=(100.0, 0.0),
+        degrees=[1, 4, 20],
+        n_items=6,
+        trace_samples=300,
+    )
+    assert figure3.run(jobs=4, **kwargs) == figure3.run(jobs=1, **kwargs)
+
+
+def test_figure6_parallel_is_bit_identical_to_serial():
+    kwargs = dict(
+        preset="tiny",
+        t_values=(100.0, 0.0),
+        comp_delays_ms=(0.0, 12.5, 25.0),
+        n_items=6,
+        trace_samples=300,
+    )
+    assert figure6.run(jobs=4, **kwargs) == figure6.run(jobs=1, **kwargs)
+
+
+def test_figure11_parallel_is_bit_identical_to_serial():
+    kwargs = dict(preset="tiny", t_percent=80.0, n_items=6, trace_samples=300)
+    assert figure11.run(jobs=2, **kwargs) == figure11.run(jobs=1, **kwargs)
+
+
 def test_table1_reports_six_calibrated_tickers():
     stats = table1.run(n_samples=2_000)
     assert len(stats) == 6

@@ -52,6 +52,32 @@ def test_with_repo_mean_delay_zero(network):
     assert network.with_repo_mean_delay(0.0).mean_repo_delay_ms() == 0.0
 
 
+def test_chained_rescale_is_bit_identical_to_direct(network):
+    """Rescaling always starts from the raw network, so a chain of
+    rescales lands on exactly the same bits as a single rescale -- the
+    property that lets sweep recycling stay bit-identical to fresh
+    builds regardless of which configs a worker saw before."""
+    direct = network.with_repo_mean_delay(100.0)
+    chained = (
+        network.with_repo_mean_delay(5.0)
+        .with_repo_mean_delay(40.0)
+        .with_repo_mean_delay(100.0)
+    )
+    assert np.array_equal(direct.routing.dist_ms, chained.routing.dist_ms)
+    assert np.array_equal(direct.topology.delays_ms, chained.topology.delays_ms)
+    assert direct.raw is network
+    assert chained.raw is network
+
+
+def test_rescale_from_zero_scaled_copy_stays_zero(network):
+    """Scaling up from a zero-collapsed copy keeps the old semantics:
+    a zero network stays zero (the idealised-network case must not be
+    silently resurrected by the raw reference)."""
+    zero = network.with_repo_mean_delay(0.0)
+    assert zero.with_repo_mean_delay(50.0).mean_repo_delay_ms() == 0.0
+    assert zero.scaled_delays(50.0).mean_repo_delay_ms() == 0.0
+
+
 def test_retarget_is_uniform(network):
     retargeted = network.with_repo_mean_delay(50.0)
     factor = 50.0 / network.mean_repo_delay_ms()

@@ -139,3 +139,49 @@ def test_same_time_events_fire_in_schedule_order():
         sim.schedule(1.0, fired.append, i)
     sim.run()
     assert fired == [0, 1, 2, 3, 4]
+
+
+def test_tie_break_is_fifo_across_schedule_and_schedule_at():
+    """Identical timestamps fire in submission order regardless of how
+    they were submitted -- the determinism the sweep-merge layer relies
+    on (a config's event order, hence its result, never depends on
+    incidental heap layout)."""
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(2.0, fired.append, "at-first")
+    sim.schedule(2.0, fired.append, "delay-second")
+    sim.schedule_at(2.0, fired.append, "at-third")
+    sim.schedule_at(1.0, fired.append, "earlier")
+    sim.run()
+    assert fired == ["earlier", "at-first", "delay-second", "at-third"]
+
+
+def test_tie_break_is_fifo_for_events_scheduled_mid_callback():
+    """An event scheduled *during* a callback for the current instant
+    fires after every same-instant event submitted before it."""
+    sim = Simulator()
+    fired = []
+
+    def cascade(label):
+        fired.append(label)
+        if label == "a":
+            # Same timestamp as the already-queued "b" and "c".
+            sim.schedule(0.0, fired.append, "a-child")
+
+    sim.schedule_at(1.0, cascade, "a")
+    sim.schedule_at(1.0, cascade, "b")
+    sim.schedule_at(1.0, cascade, "c")
+    sim.run()
+    assert fired == ["a", "b", "c", "a-child"]
+
+
+def test_tie_break_survives_interleaved_cancellation():
+    """Cancelling one of several same-time events leaves the remaining
+    submission order intact (lazy deletion must not reorder the heap)."""
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule(1.0, fired.append, i) for i in range(6)]
+    sim.cancel(events[1])
+    sim.cancel(events[4])
+    sim.run()
+    assert fired == [0, 2, 3, 5]
