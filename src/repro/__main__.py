@@ -6,6 +6,7 @@ Examples::
     python -m repro --preset small --t 100 --degree 8 --policy centralized
     python -m repro --controlled --offered 100   # Eq. (2) picks the degree
     python -m repro --degrees 1,2,4,8 --jobs 4   # parallel degree sweep
+    python -m repro --churn 2,1,2                # mid-run membership churn
 """
 
 from __future__ import annotations
@@ -13,7 +14,9 @@ from __future__ import annotations
 import argparse
 
 from repro.core.dissemination import available_policies
-from repro.engine import SCALE_PRESETS, run_simulation, run_sweep
+from repro.engine import SCALE_PRESETS, run_simulation, run_sweep, schedule_for_config
+from repro.engine.churn import parse_churn_spec
+from repro.errors import ConfigurationError
 from repro.experiments.runner import preset_config
 
 __all__ = ["main"]
@@ -26,6 +29,13 @@ def _degree_list(text: str) -> list[int]:
         raise argparse.ArgumentTypeError(
             f"expected comma-separated integers, got {text!r}"
         ) from None
+
+
+def _churn_counts(text: str) -> tuple[int, int, int]:
+    try:
+        return parse_churn_spec(text)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _job_count(text: str) -> int:
@@ -73,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
         "0 = one per CPU); results are bit-identical for every value",
     )
     parser.add_argument(
+        "--churn", type=_churn_counts, default=None, metavar="J,D,U",
+        help="synthetic mid-run churn: J late joins, D departures, U "
+        "coherency changes, placed by a schedule derived from the seed "
+        "(see repro.engine.churn)",
+    )
+    parser.add_argument(
         "--controlled", action="store_true",
         help="clamp the degree with Eq. (2)",
     )
@@ -105,6 +121,13 @@ def main(argv: list[str] | None = None) -> None:
         overrides["seed"] = args.seed
 
     config = preset_config(args.preset, **overrides)
+    if args.churn is not None:
+        joins, departs, updates = args.churn
+        config = config.with_(
+            churn=schedule_for_config(
+                config, joins=joins, departs=departs, updates=updates
+            )
+        )
 
     if args.degrees is not None:
         degrees = args.degrees
@@ -128,6 +151,11 @@ def main(argv: list[str] | None = None) -> None:
     print(f"messages              : {result.messages}")
     print(f"source checks         : {result.source_checks}")
     print(f"events processed      : {result.events_processed}")
+    if args.churn is not None:
+        print(f"churn events          : {result.counters.reconfigurations}")
+        print(f"reconfiguration cost  : {result.reconfiguration_cost} "
+              "resubscriptions")
+        print(f"reconfiguration drops : {result.counters.drops}")
 
 
 if __name__ == "__main__":

@@ -70,6 +70,23 @@ class DisseminationPolicy(ABC):
                 coherent at this value.
         """
 
+    def unregister_edge(self, parent: int, child: int, item_id: int) -> None:
+        """Tear down one service edge at reconfiguration time (churn).
+
+        The engine calls this when a mid-run membership change removes
+        an edge from the dissemination graph; the policy must forget any
+        per-edge state so the edge can later be re-registered (possibly
+        at a different coherency) without leaking the old subscription.
+        Unknown edges are ignored (idempotent teardown).
+
+        Policies that do not support live reconfiguration may keep this
+        default, which refuses loudly rather than silently corrupting
+        per-edge state.
+        """
+        raise NotImplementedError(
+            f"policy {self.name!r} does not support churn reconfiguration"
+        )
+
     @abstractmethod
     def at_source(self, item_id: int, value: float) -> SourceDecision:
         """Examine a fresh source update before any dissemination."""

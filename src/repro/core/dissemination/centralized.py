@@ -74,6 +74,26 @@ class CentralizedPolicy(DisseminationPolicy):
             sent[c] = initial_value
         self._initial.setdefault(item_id, initial_value)
 
+    def unregister_edge(self, parent: int, child: int, item_id: int) -> None:
+        c = self._edge_c.pop((parent, child, item_id), None)
+        if c is None:
+            return
+        # Drop the tolerance from the source's unique list only when no
+        # remaining edge for the item still serves at it -- the source
+        # tracks tolerances that exist *anywhere* in the network.
+        still_served = any(
+            cc == c
+            for (_p, _ch, it), cc in self._edge_c.items()
+            if it == item_id
+        )
+        if not still_served:
+            cs = self._unique_cs.get(item_id)
+            if cs is not None and c in cs:
+                cs.remove(c)
+            sent = self._last_sent.get(item_id)
+            if sent is not None:
+                sent.pop(c, None)
+
     def unique_tolerances(self, item_id: int) -> list[float]:
         """The source's per-item state (ascending unique tolerances)."""
         return list(self._unique_cs.get(item_id, []))

@@ -37,6 +37,11 @@ class Eq3OnlyPolicy(DisseminationPolicy):
         self._last_sent[key] = initial_value
         self._c_serve[key] = c_serve
 
+    def unregister_edge(self, parent: int, child: int, item_id: int) -> None:
+        key = (parent, child, item_id)
+        self._last_sent.pop(key, None)
+        self._c_serve.pop(key, None)
+
     def at_source(self, item_id: int, value: float) -> SourceDecision:
         return SourceDecision(disseminate=True, tag=None, checks=0)
 

@@ -35,6 +35,11 @@ class FloodingPolicy(DisseminationPolicy):
         self._edges.add(key)
         self._last_value[key] = initial_value
 
+    def unregister_edge(self, parent: int, child: int, item_id: int) -> None:
+        key = (parent, child, item_id)
+        self._edges.discard(key)
+        self._last_value.pop(key, None)
+
     def at_source(self, item_id: int, value: float) -> SourceDecision:
         return SourceDecision(disseminate=True, tag=None, checks=0)
 

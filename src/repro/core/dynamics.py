@@ -142,8 +142,25 @@ class DynamicMembership:
         except KeyError:
             raise TreeConstructionError(f"repository {repo} is not a member") from None
 
-    def join(self, profile: InterestProfile) -> ReconfigurationDiff:
-        """Add a repository incrementally (LeLA insertion)."""
+    def validate(self) -> None:
+        """Check every graph invariant against the current budgets.
+
+        Raises:
+            TreeConstructionError: on the first violated invariant.
+        """
+        self.graph.validate(max_dependents=self._budgets())
+
+    def join(self, profile: InterestProfile, validate: bool = True) -> ReconfigurationDiff:
+        """Add a repository incrementally (LeLA insertion).
+
+        Args:
+            profile: The newcomer's interests.
+            validate: Check all graph invariants after the insertion.
+                Bulk replays (rebuilding a known-good membership) may
+                pass ``False`` and call :meth:`validate` once at the
+                end; validation is a check only, never a mutation, so
+                skipping it cannot change the constructed graph.
+        """
         if profile.repository in self._profiles:
             raise TreeConstructionError(
                 f"repository {profile.repository} already joined"
@@ -162,7 +179,8 @@ class DynamicMembership:
         )
         builder.graph = self.graph
         builder.insert(profile)
-        self.graph.validate(max_dependents=self._budgets())
+        if validate:
+            self.validate()
         after = _edges_of(self.graph)
         return ReconfigurationDiff(added=after - before, removed=before - after)
 

@@ -27,6 +27,9 @@ class CostCounters:
     source_messages: int = 0
     deliveries: int = 0
     drops: int = 0
+    reconfigurations: int = 0
+    edges_added: int = 0
+    edges_removed: int = 0
     per_node_messages: dict[int, int] = field(default_factory=dict)
     per_node_checks: dict[int, int] = field(default_factory=dict)
 
@@ -34,6 +37,17 @@ class CostCounters:
     def total_checks(self) -> int:
         """All coherency checks performed anywhere in the system."""
         return self.source_checks + self.repository_checks
+
+    @property
+    def resubscriptions(self) -> int:
+        """Service edges (re)negotiated by churn reconfigurations.
+
+        This is the sum of :attr:`ReconfigurationDiff.cost
+        <repro.core.dynamics.ReconfigurationDiff.cost>` over every churn
+        event applied during the run: each added or removed edge is one
+        subscription a real deployment would have to (re)negotiate.
+        """
+        return self.edges_added + self.edges_removed
 
     def record_check(self, node: int, is_source: bool, count: int = 1) -> None:
         """Count ``count`` coherency checks at ``node``."""
@@ -55,8 +69,16 @@ class CostCounters:
         self.deliveries += 1
 
     def record_drop(self) -> None:
-        """Count one message lost in transit (failure injection)."""
+        """Count one message lost in transit (failure injection or a
+        delivery toward a repository that departed while it was in
+        flight)."""
         self.drops += 1
+
+    def record_reconfiguration(self, n_added: int, n_removed: int) -> None:
+        """Count one churn reconfiguration and its edge-level cost."""
+        self.reconfigurations += 1
+        self.edges_added += n_added
+        self.edges_removed += n_removed
 
     def busiest_sender(self) -> tuple[int, int] | None:
         """(node, messages) for the node that sent the most messages."""

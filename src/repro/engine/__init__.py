@@ -7,8 +7,14 @@ policy through the discrete-event kernel.  The single entry point most
 callers need is :func:`~repro.engine.simulation.run_simulation`.
 """
 
+from repro.engine.churn import (
+    ChurnEvent,
+    ChurnSchedule,
+    schedule_for_config,
+    synthetic_schedule,
+)
 from repro.engine.config import SCALE_PRESETS, SimulationConfig
-from repro.engine.builder import SimulationSetup, build_setup
+from repro.engine.builder import SimulationSetup, build_setup, make_membership
 from repro.engine.results import SimulationResult
 from repro.engine.simulation import DisseminationSimulation, run_simulation
 from repro.engine.sweep import resolve_jobs, run_sweep
@@ -18,9 +24,14 @@ __all__ = [
     "SCALE_PRESETS",
     "SimulationSetup",
     "build_setup",
+    "make_membership",
     "SimulationResult",
     "DisseminationSimulation",
     "run_simulation",
     "resolve_jobs",
     "run_sweep",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "schedule_for_config",
+    "synthetic_schedule",
 ]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.engine.churn import ChurnSchedule
 from repro.errors import ConfigurationError
 
 __all__ = ["SimulationConfig", "SCALE_PRESETS"]
@@ -53,6 +54,13 @@ class SimulationConfig:
         message_loss_probability: Failure-injection knob -- probability
             an update message is silently lost in the network (the paper
             assumes a reliable network; 0 reproduces it).
+        churn: Optional mid-run churn schedule (timed joins, departures
+            and coherency changes; see :mod:`repro.engine.churn`).
+            ``None`` -- or an empty schedule, which is normalised to
+            ``None`` -- reproduces the paper's static membership.  When
+            events are present, the initial graph is built through
+            :class:`~repro.core.dynamics.DynamicMembership` so mid-run
+            rebuilds replay the same join order.
     """
 
     seed: int = 20020812
@@ -74,6 +82,7 @@ class SimulationConfig:
     preference: str = "p1"
     p_percent: float = 5.0
     message_loss_probability: float = 0.0
+    churn: ChurnSchedule | None = None
 
     def __post_init__(self) -> None:
         if self.n_repositories < 1:
@@ -100,6 +109,15 @@ class SimulationConfig:
             raise ConfigurationError(
                 "message_loss_probability must be in [0, 1)"
             )
+        if self.churn is not None and not isinstance(self.churn, ChurnSchedule):
+            raise ConfigurationError(
+                f"churn must be a ChurnSchedule or None, got {type(self.churn).__name__}"
+            )
+        if self.churn is not None and not self.churn:
+            # An empty schedule is exactly static membership; normalise
+            # so both spellings share one graph-construction path (and
+            # one hash bucket in sweep merging).
+            object.__setattr__(self, "churn", None)
 
     def with_(self, **overrides) -> "SimulationConfig":
         """Return a copy with the given fields replaced."""

@@ -92,6 +92,11 @@ def run_hybrid_simulation(
     """
     if ttr is None:
         ttr = TtrConfig(mode="adaptive", ttr_s=10.0, ttr_min_s=1.0, ttr_max_s=60.0)
+    if config.churn is not None:
+        raise ConfigurationError(
+            "the push/pull hybrid does not support mid-run churn; "
+            "drop the churn schedule or use the pure-push engine"
+        )
     full_setup = build_setup(config, base=base)
     push_profiles, pull_profiles = split_profiles(full_setup.profiles, threshold_c)
 

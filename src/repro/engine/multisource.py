@@ -75,6 +75,11 @@ def build_multisource_setup(
     """
     if n_sources < 1:
         raise ConfigurationError(f"n_sources must be >= 1, got {n_sources!r}")
+    if config.churn is not None:
+        raise ConfigurationError(
+            "the multi-source extension does not support mid-run churn; "
+            "drop the churn schedule or use the single-source engine"
+        )
     base = build_setup(config)
     router_ids = list(base.network.topology.router_ids)
     if n_sources - 1 > len(router_ids):

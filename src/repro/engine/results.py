@@ -54,12 +54,23 @@ class SimulationResult:
         """Checks performed at the source (Figure 11(a) metric)."""
         return self.counters.source_checks
 
+    @property
+    def reconfiguration_cost(self) -> int:
+        """Subscriptions (re)negotiated by mid-run churn (0 when static)."""
+        return self.counters.resubscriptions
+
     def summary(self) -> str:
         """One-line human-readable digest."""
-        return (
+        text = (
             f"loss={self.loss_of_fidelity:.2f}% "
             f"messages={self.counters.messages} "
             f"source_checks={self.counters.source_checks} "
             f"degree={self.effective_degree} "
             f"depth<=|{self.tree_stats.max_depth}|"
         )
+        if self.counters.reconfigurations:
+            text += (
+                f" reconf={self.counters.reconfigurations}"
+                f"/cost={self.counters.resubscriptions}"
+            )
+        return text

@@ -13,21 +13,42 @@ Semantics (DESIGN.md §5):
 - The per-node serialisation is what makes a node with many dependents a
   bottleneck -- the mechanism behind the U-curve's rising arm and the
   no-cooperation saturation of Figures 5/6.
+
+Churn (Section 4's "the algorithm is reapplied"): when the config
+carries a :class:`~repro.engine.churn.ChurnSchedule`, its events run
+inside the kernel at their scheduled times.  Each event applies
+:class:`~repro.core.dynamics.DynamicMembership` (join incrementally;
+depart/coherency-change rebuild in join order), and the resulting
+:class:`~repro.core.dynamics.ReconfigurationDiff` is applied to the
+*live* run: removed service edges are torn down (policy state dropped),
+added edges are wired up (the new subscriber is primed with its
+parent's current copy), and the diff's cost is charged into
+:class:`~repro.core.metrics.CostCounters`.  Updates still in flight
+toward a departed repository count as drops; fidelity is scored only
+over the intervals a (repository, item, tolerance) requirement was
+actually live.
 """
 
 from __future__ import annotations
 
 from repro.core.dissemination import DisseminationPolicy, make_policy
 from repro.core.fidelity import FidelityAccumulator, loss_of_fidelity
+from repro.core.interests import InterestProfile
 from repro.core.metrics import CostCounters
-from repro.engine.builder import SimulationSetup, build_setup
+from repro.engine.builder import SimulationSetup, build_setup, make_membership
+from repro.engine.churn import ChurnEvent
 from repro.engine.config import SimulationConfig
 from repro.engine.results import SimulationResult
+from repro.errors import SimulationError
 from repro.sim.kernel import Simulator
 from repro.sim.queueing import FifoStation
 from repro.sim.rng import RandomStreams
 
 __all__ = ["DisseminationSimulation", "run_simulation"]
+
+#: One fidelity-scoring segment: [t_start, t_end or None (still open),
+#: the own-tolerance live over the segment].
+_Segment = list
 
 
 class DisseminationSimulation:
@@ -46,15 +67,29 @@ class DisseminationSimulation:
             if self._loss_probability > 0.0
             else None
         )
+        # Churn state: the membership is rebuilt fresh per simulation (a
+        # shared setup must stay read-only; the replay is deterministic,
+        # so its graph is bit-identical to setup.graph).
+        self._churn = setup.config.churn
+        self._membership = make_membership(setup) if self._churn is not None else None
+        self._departed: set[int] = set()
+        self._source_value: dict[int, float] = {}
         self._stations: dict[int, FifoStation] = {}
         # Per (node, item): list of (child, c_serve); precomputed for speed.
         self._children: dict[tuple[int, int], list[tuple[int, float]]] = {}
         self._receive_c: dict[tuple[int, int], float] = {}
         # Per (repo, item): delivery log [(time, value), ...].
         self._deliveries: dict[tuple[int, int], list[tuple[float, float]]] = {}
+        # Per (repo, item): fidelity-scoring segments (see _Segment).
+        self._segments: dict[tuple[int, int], list[_Segment]] = {}
         self._prepare()
 
     # ------------------------------------------------------------------
+
+    @property
+    def _graph(self):
+        """The live dissemination graph (rebound by churn rebuilds)."""
+        return self._membership.graph if self._membership is not None else self.setup.graph
 
     def _graphs(self):
         """(graph, root, item ids) triples to wire up.
@@ -62,7 +97,7 @@ class DisseminationSimulation:
         The single-source engine serves every item from one graph; the
         multi-source extension overrides this with one triple per source.
         """
-        return [(self.setup.graph, self._source, list(self.setup.traces))]
+        return [(self._graph, self._source, list(self.setup.traces))]
 
     def _prepare(self) -> None:
         self._root_of: dict[int, int] = {}
@@ -86,10 +121,19 @@ class DisseminationSimulation:
                         if item_id in state.receive_c:
                             self._receive_c[(node, item_id)] = state.receive_c[item_id]
                             self._deliveries[(node, item_id)] = [(0.0, initial)]
+        initial_members = (
+            set(self._membership.members) if self._membership is not None else None
+        )
+        for repo, profile in self.setup.profiles.items():
+            if initial_members is not None and repo not in initial_members:
+                continue  # late joiner: scoring starts at its join event
+            for item_id, c_own in profile.requirements.items():
+                self._segments[(repo, item_id)] = [[0.0, None, c_own]]
 
     # ------------------------------------------------------------------
 
     def _on_source_update(self, item_id: int, value: float) -> None:
+        self._source_value[item_id] = value
         root = self._root_of[item_id]
         decision = self.policy.at_source(item_id, value)
         if decision.checks:
@@ -99,6 +143,11 @@ class DisseminationSimulation:
         self._process_at_node(root, item_id, value, decision.tag)
 
     def _on_delivery(self, node: int, item_id: int, value: float, tag) -> None:
+        if node in self._departed:
+            # The sender paid for the message, but the repository left
+            # while it was in flight: a reconfiguration drop.
+            self.counters.record_drop()
+            return
         self.counters.record_delivery()
         log = self._deliveries.get((node, item_id))
         if log is not None:
@@ -135,9 +184,132 @@ class DisseminationSimulation:
             self.kernel.schedule_at(arrival, self._on_delivery, child, item_id, value, tag)
 
     # ------------------------------------------------------------------
+    # Churn execution
+    # ------------------------------------------------------------------
+
+    def _on_churn(self, event: ChurnEvent) -> None:
+        """Apply one membership change to the live run."""
+        now = self.kernel.now
+        repo = event.repository
+        resync: frozenset = frozenset()
+        if event.kind == "join":
+            profile = event.profile()
+            if profile is None:
+                profile = self.setup.profiles[repo]
+            if repo in self._departed:
+                # A rejoining repository comes back with stale state: it
+                # must receive deliveries again and initial-sync fresh
+                # copies rather than resume from its pre-departure ones.
+                self._departed.discard(repo)
+                resync = frozenset((repo,))
+            diff = self._membership.join(profile)
+            for item_id in sorted(profile.requirements):
+                self._segments.setdefault((repo, item_id), []).append(
+                    [now, None, profile.requirements[item_id]]
+                )
+        elif event.kind == "depart":
+            diff = self._membership.leave(repo)
+            self._departed.add(repo)
+            for (r, _item_id), segments in self._segments.items():
+                if r == repo and segments and segments[-1][1] is None:
+                    segments[-1][1] = now
+        else:  # coherency / data-needs change
+            old = dict(self._membership.profile_of(repo).requirements)
+            new = dict(event.requirements)
+            diff = self._membership.update_requirements(
+                InterestProfile(repository=repo, requirements=new)
+            )
+            for item_id in sorted(set(old) | set(new)):
+                old_c, new_c = old.get(item_id), new.get(item_id)
+                if old_c == new_c:
+                    continue  # untouched requirement: segment stays open
+                segments = self._segments.get((repo, item_id))
+                if old_c is not None and segments and segments[-1][1] is None:
+                    segments[-1][1] = now
+                if new_c is not None:
+                    self._segments.setdefault((repo, item_id), []).append(
+                        [now, None, new_c]
+                    )
+        self._apply_diff(diff, now, resync=resync)
+
+    def _apply_diff(self, diff, now: float, resync: frozenset = frozenset()) -> None:
+        """Tear down removed service edges, wire up added ones.
+
+        Args:
+            diff: The membership change's edge-level diff.
+            now: Simulated time the reconfiguration takes effect.
+            resync: Nodes whose existing copies are stale (a rejoining
+                repository) and must initial-sync even though they still
+                hold a delivery log from their earlier membership.
+        """
+        self.counters.record_reconfiguration(
+            n_added=len(diff.added), n_removed=len(diff.removed)
+        )
+        graph = self._graph
+        for parent, child, item_id, _c in sorted(diff.removed):
+            key = (parent, item_id)
+            children = self._children.get(key)
+            if children is not None:
+                children[:] = [(ch, cc) for ch, cc in children if ch != child]
+                if not children:
+                    del self._children[key]
+            self.policy.unregister_edge(parent, child, item_id)
+            state = graph.nodes.get(child)
+            if state is None or item_id not in state.receive_c:
+                # The child no longer receives the item at all (departed,
+                # or the rebuild dropped the relay); its delivery log is
+                # kept for fidelity scoring of the elapsed interval.
+                self._receive_c.pop((child, item_id), None)
+        # Parents must hold a current copy before their children sync
+        # from them, so wire additions root-downward per item tree.
+        added = sorted(
+            diff.added, key=lambda e: (e[2], graph.item_depth(e[1], e[2]), e)
+        )
+        for parent, child, item_id, c_serve in added:
+            for node in (parent, child):
+                if node not in self._stations:
+                    self._stations[node] = FifoStation(name=f"node{node}")
+            value = self._current_value(parent, item_id)
+            log = self._deliveries.get((child, item_id))
+            if log is None or child in resync:
+                # New subscription (or a rejoiner with stale state): the
+                # child initial-syncs the parent's current copy (charged
+                # as reconfiguration cost, not as an update message).
+                if log is None:
+                    self._deliveries[(child, item_id)] = [(now, value)]
+                else:
+                    log.append((now, value))
+                initial = value
+            else:
+                # Re-homed subscription: the child keeps its own copy.
+                initial = log[-1][1]
+            self._receive_c[(child, item_id)] = c_serve
+            self._children.setdefault((parent, item_id), []).append((child, c_serve))
+            self.policy.register_edge(parent, child, item_id, c_serve, initial)
+
+    def _current_value(self, node: int, item_id: int) -> float:
+        """The copy ``node`` holds for ``item_id`` right now."""
+        if node == self._root_of[item_id]:
+            return self._source_value.get(
+                item_id, self.setup.traces[item_id].initial_value
+            )
+        log = self._deliveries.get((node, item_id))
+        if log is None:
+            raise SimulationError(
+                f"node {node} has no copy of item {item_id} to serve from"
+            )
+        return log[-1][1]
+
+    # ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
         """Schedule all trace updates, run to quiescence, score fidelity."""
+        if self._churn is not None:
+            # Scheduled before the trace updates so that a churn event
+            # and an update at the same instant apply membership first
+            # (the kernel breaks time ties in scheduling order).
+            for event in self._churn.events:
+                self.kernel.schedule_at(float(event.time), self._on_churn, event)
         span = 0.0
         for item_id, trace in self.setup.traces.items():
             changes = trace.changes()
@@ -153,39 +325,72 @@ class DisseminationSimulation:
     def _score(self, span: float) -> SimulationResult:
         accumulator = FidelityAccumulator()
         per_pair: dict[tuple[int, int], float] = {}
-        for repo, profile in self.setup.profiles.items():
-            for item_id, c_own in profile.requirements.items():
-                trace = self.setup.traces[item_id]
-                log = self._deliveries.get((repo, item_id))
-                if log is None:
-                    # Never wired for the item (cannot happen after LeLA
-                    # validation, but fail loud rather than silently).
-                    raise RuntimeError(
-                        f"repository {repo} has no delivery log for item {item_id}"
-                    )
-                recv_times = [entry[0] for entry in log]
-                recv_values = [entry[1] for entry in log]
+        for (repo, item_id), segments in self._segments.items():
+            trace = self.setup.traces[item_id]
+            log = self._deliveries.get((repo, item_id))
+            if log is None:
+                # Never wired for the item (cannot happen after LeLA
+                # validation, but fail loud rather than silently).
+                raise RuntimeError(
+                    f"repository {repo} has no delivery log for item {item_id}"
+                )
+            recv_times = [entry[0] for entry in log]
+            recv_values = [entry[1] for entry in log]
+            t0 = float(trace.times[0])
+            t1 = float(trace.times[-1])
+            if len(segments) == 1 and segments[0][0] <= t0 and segments[0][1] is None:
+                # Static membership (or an untouched pair): score exactly
+                # as the churn-free engine always has, bit for bit.
                 loss = loss_of_fidelity(
                     trace.times,
                     trace.values,
                     recv_times,
                     recv_values,
-                    c_own,
-                    t_start=float(trace.times[0]),
-                    t_end=float(trace.times[-1]),
+                    segments[0][2],
+                    t_start=t0,
+                    t_end=t1,
                 )
-                accumulator.add(repo, item_id, loss)
-                per_pair[(repo, item_id)] = loss
+            else:
+                weighted = 0.0
+                total = 0.0
+                for start, end, c_own in segments:
+                    seg_start = max(float(start), t0)
+                    seg_end = t1 if end is None else min(float(end), t1)
+                    if seg_end <= seg_start:
+                        continue
+                    seg_loss = loss_of_fidelity(
+                        trace.times,
+                        trace.values,
+                        recv_times,
+                        recv_values,
+                        c_own,
+                        t_start=seg_start,
+                        t_end=seg_end,
+                    )
+                    weighted += seg_loss * (seg_end - seg_start)
+                    total += seg_end - seg_start
+                if total <= 0.0:
+                    # The requirement was never live inside the
+                    # observation window (e.g. a join past the last
+                    # trace sample): nothing to score.
+                    continue
+                loss = weighted / total
+            accumulator.add(repo, item_id, loss)
+            per_pair[(repo, item_id)] = loss
+        extras: dict = {"per_pair_loss": per_pair}
+        if self._membership is not None:
+            extras["churn_events"] = len(self._churn)
+            extras["final_members"] = len(self._membership.members)
         return SimulationResult(
             loss_of_fidelity=accumulator.system_loss(),
             per_repository_loss=accumulator.per_repository(),
             counters=self.counters,
-            tree_stats=self.setup.graph.stats(),
+            tree_stats=self._graph.stats(),
             effective_degree=self.setup.effective_degree,
             avg_comm_delay_ms=self.setup.avg_comm_delay_ms,
             events_processed=self.kernel.events_processed,
             sim_span_s=span,
-            extras={"per_pair_loss": per_pair},
+            extras=extras,
         )
 
     def delivery_log(self, repo: int, item_id: int) -> list[tuple[float, float]]:

@@ -13,6 +13,7 @@ import time
 
 from repro.__main__ import _job_count
 from repro.experiments import (
+    churn_resilience,
     figure3,
     figure5,
     figure6,
@@ -48,6 +49,9 @@ EXPERIMENTS = {
     "sensitivity": lambda preset, jobs: sensitivity.main(preset=preset, jobs=jobs),
     "pull_baseline": lambda preset, jobs: pull_baseline.main(preset=preset),
     "hybrid_tradeoff": lambda preset, jobs: hybrid_tradeoff.main(preset=preset),
+    "churn_resilience": lambda preset, jobs: churn_resilience.main(
+        preset=preset, jobs=jobs
+    ),
 }
 
 

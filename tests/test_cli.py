@@ -45,6 +45,30 @@ def test_cli_delay_overrides(capsys):
     assert "mean comm delay       : 40.0 ms" in out
 
 
+def test_parser_rejects_malformed_churn_spec():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--churn", "1,2"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--churn", "1,-2,3"])
+
+
+def test_cli_churn_run(capsys):
+    cli_main(["--preset", "tiny", "--churn", "1,1,1", "--seed", "5"])
+    out = capsys.readouterr().out
+    assert "churn events          : 3" in out
+    assert "reconfiguration cost" in out
+
+
+def test_cli_churn_degree_sweep_serial_and_parallel_agree(capsys):
+    argv = ["--preset", "tiny", "--degrees", "2,4", "--churn", "1,1,1", "--seed", "5"]
+    cli_main(argv + ["--jobs", "1"])
+    serial = capsys.readouterr().out
+    cli_main(argv + ["--jobs", "2"])
+    parallel = capsys.readouterr().out
+    assert "reconf=3" in serial
+    assert serial.splitlines()[1:] == parallel.splitlines()[1:]
+
+
 def test_cli_degree_sweep_serial_and_parallel_agree(capsys):
     argv = ["--preset", "tiny", "--degrees", "1,3", "--seed", "5"]
     cli_main(argv + ["--jobs", "1"])
@@ -71,6 +95,7 @@ def test_run_all_knows_every_experiment():
         "sensitivity",
         "pull_baseline",
         "hybrid_tradeoff",
+        "churn_resilience",
     }
 
 
