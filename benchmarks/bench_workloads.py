@@ -1,0 +1,92 @@
+"""Benchmark: workload trace-generation throughput.
+
+Pins the cost of the workload layer itself, independent of any
+simulation: each generator produces a 12-item x 2 000-sample trace set
+(24 000 polled samples) under the timer, and the samples-per-second rate
+is recorded in the benchmark extra-info.  The assertions bound the
+obvious regressions -- a generator that silently becomes quadratic in
+``n_samples``, or the replay path re-parsing files per item -- without
+pinning wall-clock numbers that vary across runners.
+
+Determinism is asserted alongside: every generator must produce
+bit-identical trace sets from identical streams, the contract the
+sweep subsystem's parallel merging rests on.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+from repro.traces.io import write_trace_csv
+from repro.workloads import (
+    DiurnalWorkload,
+    FlashCrowdWorkload,
+    ReplayWorkload,
+    Table1Workload,
+)
+
+N_ITEMS = 12
+N_SAMPLES = 2_000
+
+
+def _factory(seed: int = 3913):
+    streams = RandomStreams(seed)
+    return lambda i: streams.spawn("traces", i)
+
+
+def _generate(workload):
+    return workload.make_traces(N_ITEMS, rng_factory=_factory(), n_samples=N_SAMPLES)
+
+
+def _assert_valid_and_deterministic(workload, traces):
+    assert len(traces) == N_ITEMS
+    for trace in traces:
+        assert len(trace) <= N_SAMPLES
+        assert np.isfinite(trace.values).all()
+    again = _generate(workload)
+    for a, b in zip(traces, again):
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.values, b.values)
+
+
+def _bench_generation(benchmark, workload):
+    start = time.perf_counter()
+    traces = benchmark.pedantic(_generate, args=(workload,), rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    _assert_valid_and_deterministic(workload, traces)
+    benchmark.extra_info["samples_per_s"] = round(N_ITEMS * N_SAMPLES / elapsed)
+
+
+def bench_workload_table1_generation(benchmark):
+    _bench_generation(benchmark, Table1Workload())
+
+
+def bench_workload_flash_crowd_generation(benchmark):
+    _bench_generation(benchmark, FlashCrowdWorkload())
+
+
+def bench_workload_diurnal_generation(benchmark):
+    _bench_generation(benchmark, DiurnalWorkload())
+
+
+def bench_workload_replay_throughput(benchmark, tmp_path):
+    # Fewer files than items: the round-robin cycling path must parse
+    # each unique file once, not once per item.
+    n_files = 3
+    corpus = Table1Workload().make_traces(
+        n_files, rng_factory=_factory(), n_samples=N_SAMPLES
+    )
+    for i, trace in enumerate(corpus):
+        write_trace_csv(trace, tmp_path / f"item{i:03d}.csv")
+    workload = ReplayWorkload(path=str(tmp_path))
+
+    start = time.perf_counter()
+    traces = benchmark.pedantic(_generate, args=(workload,), rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    _assert_valid_and_deterministic(workload, traces)
+    for i, replayed in enumerate(traces):
+        assert np.array_equal(corpus[i % n_files].values, replayed.values)
+    benchmark.extra_info["samples_per_s"] = round(N_ITEMS * N_SAMPLES / elapsed)

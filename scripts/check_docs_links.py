@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Check internal links and anchors across the docs site.
+
+Validates, without needing mkdocs installed:
+
+- every relative markdown link in ``docs/**/*.md`` points at a file
+  that exists;
+- every ``#anchor`` (cross-page or same-page) matches a heading in the
+  target page, using the same slugification the mkdocs toc extension
+  applies;
+- every page referenced from ``mkdocs.yml``'s nav exists, and every
+  page under ``docs/`` is reachable from the nav (no orphans).
+
+Exit status 1 with a per-problem report on any failure; used both by CI
+(alongside ``mkdocs build --strict``, which cannot see anchors) and by
+``tests/docs/test_docs_sync.py`` so tier-1 catches broken links before
+review.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs"
+MKDOCS_YML = REPO_ROOT / "mkdocs.yml"
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*)$", re.MULTILINE)
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_NAV_PAGE = re.compile(r":\s*([\w./-]+\.md)\s*$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def slugify(heading: str) -> str:
+    """The mkdocs/python-markdown toc slug for a heading line."""
+    text = heading.replace("`", "").replace("*", "")
+    text = re.sub(r"[^\w\s-]", "", text).strip().lower()
+    return re.sub(r"[-\s]+", "-", text)
+
+
+def anchors_of(markdown: str) -> set[str]:
+    return {slugify(title) for _, title in _HEADING.findall(_FENCE.sub("", markdown))}
+
+
+def check() -> list[str]:
+    problems: list[str] = []
+    root = DOCS.parent
+    pages = {path: path.read_text() for path in sorted(DOCS.rglob("*.md"))}
+    page_anchors = {path: anchors_of(text) for path, text in pages.items()}
+
+    for path, text in pages.items():
+        rel = path.relative_to(root)
+        for target in _LINK.findall(_FENCE.sub("", text)):
+            if target.startswith(_EXTERNAL):
+                continue
+            target_path, _, anchor = target.partition("#")
+            resolved = (
+                path if not target_path else (path.parent / target_path).resolve()
+            )
+            if not resolved.exists():
+                problems.append(f"{rel}: broken link -> {target}")
+                continue
+            if anchor and resolved.suffix == ".md":
+                known = page_anchors.get(resolved)
+                if known is None:
+                    known = anchors_of(resolved.read_text())
+                if anchor not in known:
+                    problems.append(f"{rel}: missing anchor -> {target}")
+
+    nav_pages = {DOCS / p for p in _NAV_PAGE.findall(MKDOCS_YML.read_text())}
+    for page in sorted(nav_pages):
+        if not page.exists():
+            problems.append(f"mkdocs.yml: nav references missing page {page}")
+    for path in pages:
+        if path not in nav_pages:
+            problems.append(f"{path.relative_to(root)}: not reachable from mkdocs.yml nav")
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    if problems:
+        print("\n".join(problems))
+        print(f"{len(problems)} documentation link problem(s)")
+        return 1
+    print(f"docs links OK ({len(list(DOCS.rglob('*.md')))} pages)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

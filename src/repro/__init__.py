@@ -8,6 +8,8 @@ The package implements the paper's full stack from scratch:
   delays, Floyd-Warshall routing,
 - :mod:`repro.traces` -- synthetic stock-price traces calibrated to the
   paper's Table 1,
+- :mod:`repro.workloads` -- pluggable update-stream workloads (Table 1
+  default, flash crowds, diurnal cycles, CSV trace replay),
 - :mod:`repro.core` -- the contribution: LeLA tree construction, the
   Eq. (2) degree-of-cooperation heuristic, the distributed/centralised
   dissemination algorithms, and the fidelity metric,

@@ -7,6 +7,8 @@ Examples::
     python -m repro --controlled --offered 100   # Eq. (2) picks the degree
     python -m repro --degrees 1,2,4,8 --jobs 4   # parallel degree sweep
     python -m repro --churn 2,1,2                # mid-run membership churn
+    python -m repro --workload flash_crowd:intensity=1.2
+    python -m repro --workload replay:path=my_traces/
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from repro.engine import SCALE_PRESETS, run_simulation, run_sweep, schedule_for_
 from repro.engine.churn import parse_churn_spec
 from repro.errors import ConfigurationError
 from repro.experiments.runner import preset_config
+from repro.workloads import available_workloads, parse_workload_spec
 
 __all__ = ["main"]
 
@@ -34,6 +37,13 @@ def _degree_list(text: str) -> list[int]:
 def _churn_counts(text: str) -> tuple[int, int, int]:
     try:
         return parse_churn_spec(text)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _workload_spec(text: str):
+    try:
+        return parse_workload_spec(text)
     except ConfigurationError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
@@ -89,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(see repro.engine.churn)",
     )
     parser.add_argument(
+        "--workload", type=_workload_spec, default=None, metavar="NAME[:K=V,...]",
+        help="update-stream workload, e.g. flash_crowd:intensity=1.2 or "
+        f"replay:path=traces/ (names: {', '.join(available_workloads())}; "
+        "default: table1, the paper's synthetic traces)",
+    )
+    parser.add_argument(
         "--controlled", action="store_true",
         help="clamp the degree with Eq. (2)",
     )
@@ -119,6 +135,8 @@ def main(argv: list[str] | None = None) -> None:
         overrides["comm_target_ms"] = args.comm_delay
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.workload is not None:
+        overrides["workload"] = args.workload
 
     config = preset_config(args.preset, **overrides)
     if args.churn is not None:
@@ -134,14 +152,15 @@ def main(argv: list[str] | None = None) -> None:
         configs = [config.with_(offered_degree=d) for d in degrees]
         results = run_sweep(configs, jobs=args.jobs)
         print(f"preset={args.preset} policy={args.policy} T={args.t:.0f}% "
-              f"jobs={args.jobs}")
+              f"workload={config.workload.describe()} jobs={args.jobs}")
         for degree, result in zip(degrees, results):
             print(f"degree={degree:<4d} {result.summary()}")
         return
 
     result = run_simulation(config)
 
-    print(f"preset={args.preset} policy={args.policy} T={args.t:.0f}%")
+    print(f"preset={args.preset} policy={args.policy} T={args.t:.0f}% "
+          f"workload={config.workload.describe()}")
     print(f"degree of cooperation : {result.effective_degree}"
           + (" (Eq. 2 controlled)" if args.controlled else ""))
     print(f"mean comm delay       : {result.avg_comm_delay_ms:.1f} ms")

@@ -1,10 +1,11 @@
 """End-to-end simulation engine.
 
-Glues the substrates together: builds the physical network, traces and
-interest profiles from a :class:`~repro.engine.config.SimulationConfig`,
-constructs the ``d3g`` with LeLA, and drives the chosen dissemination
-policy through the discrete-event kernel.  The single entry point most
-callers need is :func:`~repro.engine.simulation.run_simulation`.
+Glues the substrates together: builds the physical network, the
+workload's update traces and the interest profiles from a
+:class:`~repro.engine.config.SimulationConfig`, constructs the ``d3g``
+with LeLA, and drives the chosen dissemination policy through the
+discrete-event kernel.  The single entry point most callers need is
+:func:`~repro.engine.simulation.run_simulation`.
 """
 
 from repro.engine.churn import (

@@ -1,10 +1,13 @@
 """Simulation configuration and scale presets.
 
 One :class:`SimulationConfig` fully determines a run: the same config
-(same seed) always produces the same result.  The paper's base case is
-the ``paper`` preset -- 1 source, 100 repositories, 600 routers, Pareto
-link delays with a 15 ms mean, 12.5 ms computational delay, traces of
-10 000 one-second samples.  The ``small``/``tiny`` presets shrink the
+(same seed) always produces the same result.  Everything a run needs is
+a *value* inside the config -- including the workload that generates the
+update streams (:mod:`repro.workloads`) and any mid-run churn schedule
+(:mod:`repro.engine.churn`).  The paper's base case is the ``paper``
+preset -- 1 source, 100 repositories, 600 routers, Pareto link delays
+with a 15 ms mean, 12.5 ms computational delay, traces of 10 000
+one-second samples.  The ``small``/``tiny`` presets shrink the
 workload for experiment sweeps and CI respectively while keeping every
 ratio (router:repository, change rate, delay scales) intact.
 """
@@ -15,6 +18,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.engine.churn import ChurnSchedule
 from repro.errors import ConfigurationError
+from repro.workloads import Table1Workload, Workload
 
 __all__ = ["SimulationConfig", "SCALE_PRESETS"]
 
@@ -40,6 +44,14 @@ class SimulationConfig:
             one dependent (paper: 12.5 ms).
         n_items: Number of dynamic data items.
         trace_samples: Polled samples per trace (paper: 10 000 at 1/s).
+        workload: The :class:`~repro.workloads.Workload` generating the
+            per-item update streams.  The default
+            :class:`~repro.workloads.Table1Workload` reproduces the
+            paper's stationary Table 1-calibrated traces bit for bit;
+            alternatives (flash crowds, diurnal cycles, CSV replay) live
+            in :mod:`repro.workloads`.  Workloads are frozen, hashable
+            specs, so the config -- and with it sweep merging and churn
+            replay -- stays fully value-determined.
         subscription_probability: P(repository wants an item) (paper: 0.5).
         t_percent: The paper's T -- % of items with stringent tolerances.
         policy: Dissemination policy name (see
@@ -73,6 +85,7 @@ class SimulationConfig:
     comp_delay_ms: float = 12.5
     n_items: int = 20
     trace_samples: int = 10_000
+    workload: Workload = field(default_factory=Table1Workload)
     subscription_probability: float = 0.5
     t_percent: float = 80.0
     policy: str = "distributed"
@@ -109,6 +122,12 @@ class SimulationConfig:
             raise ConfigurationError(
                 "message_loss_probability must be in [0, 1)"
             )
+        if not isinstance(self.workload, Workload):
+            raise ConfigurationError(
+                f"workload must be a Workload, got {type(self.workload).__name__} "
+                "(build one with repro.workloads.make_workload)"
+            )
+        self.workload.validate()
         if self.churn is not None and not isinstance(self.churn, ChurnSchedule):
             raise ConfigurationError(
                 f"churn must be a ChurnSchedule or None, got {type(self.churn).__name__}"

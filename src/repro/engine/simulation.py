@@ -3,7 +3,10 @@
 Semantics (DESIGN.md §5):
 
 - Source updates fire at trace timestamps; only *changes* are simulated
-  (polling repeats carry no information).
+  (polling repeats carry no information).  The traces themselves come
+  from the config's workload (:mod:`repro.workloads`), so the same
+  engine serves stationary Table 1 dynamics, flash crowds, diurnal
+  cycles, or replayed recordings unchanged.
 - When an update reaches a node, the node's local copy refreshes
   immediately, then the node checks each dependent registered for the
   item.  Checks are instantaneous bookkeeping; a *forwarded* copy costs
@@ -377,7 +380,10 @@ class DisseminationSimulation:
                 loss = weighted / total
             accumulator.add(repo, item_id, loss)
             per_pair[(repo, item_id)] = loss
-        extras: dict = {"per_pair_loss": per_pair}
+        extras: dict = {
+            "per_pair_loss": per_pair,
+            "workload": self.setup.config.workload.name,
+        }
         if self._membership is not None:
             extras["churn_events"] = len(self._churn)
             extras["final_members"] = len(self._membership.members)

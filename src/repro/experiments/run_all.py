@@ -27,9 +27,10 @@ from repro.experiments import (
     scalability,
     sensitivity,
     table1,
+    workload_sensitivity,
 )
 
-__all__ = ["EXPERIMENTS", "main"]
+__all__ = ["EXPERIMENTS", "build_parser", "main"]
 
 #: Experiment drivers.  Each takes ``(preset, jobs)``; the ones whose
 #: workload is not a :class:`SimulationConfig` sweep (table1's trace
@@ -52,11 +53,14 @@ EXPERIMENTS = {
     "churn_resilience": lambda preset, jobs: churn_resilience.main(
         preset=preset, jobs=jobs
     ),
+    "workload_sensitivity": lambda preset, jobs: workload_sensitivity.main(
+        preset=preset, jobs=jobs
+    ),
 }
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro.experiments.run_all", description=__doc__)
     parser.add_argument("--preset", default="small", help="tiny | small | paper")
     parser.add_argument(
         "--jobs",
@@ -72,6 +76,11 @@ def main(argv: list[str] | None = None) -> None:
         default=None,
         help=f"subset of experiments to run (choices: {sorted(EXPERIMENTS)})",
     )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     names = args.only if args.only else list(EXPERIMENTS)

@@ -13,6 +13,10 @@ subpackage synthesises statistically equivalent ones (see DESIGN.md §4):
   tickers, with the paper's min/max bands.
 - :mod:`repro.traces.io` -- CSV round-tripping.
 - :mod:`repro.traces.stats` -- Table-1-style summaries.
+
+Which generator a simulation actually uses -- the stationary Table 1
+process here, flash crowds, diurnal cycles, or replayed CSVs -- is
+chosen by the config's workload; see :mod:`repro.workloads`.
 """
 
 from repro.traces.io import read_trace_csv, write_trace_csv

@@ -22,7 +22,13 @@ from repro.errors import ConfigurationError
 from repro.traces.model import Trace
 from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
 
-__all__ = ["TickerSpec", "PAPER_TICKERS", "make_paper_trace", "make_trace_set"]
+__all__ = [
+    "TickerSpec",
+    "PAPER_TICKERS",
+    "draw_spec",
+    "make_paper_trace",
+    "make_trace_set",
+]
 
 _RANGE_IN_STATIONARY_STDS = 6.0
 _DEFAULT_REVERSION = 0.05
@@ -113,11 +119,21 @@ def make_trace_set(
     traces: list[Trace] = []
     for i in range(n_traces):
         rng = rng_factory(i)
-        if i < len(PAPER_TICKERS):
-            traces.append(make_paper_trace(PAPER_TICKERS[i], rng, n_samples))
-            continue
-        level = float(rng.uniform(10.0, 65.0))
-        band = float(rng.uniform(0.3, 1.2))
-        spec = TickerSpec(f"SYN{i:03d}", level, level + band)
-        traces.append(make_paper_trace(spec, rng, n_samples))
+        traces.append(make_paper_trace(draw_spec(i, rng), rng, n_samples))
     return traces
+
+
+def draw_spec(index: int, rng: np.random.Generator) -> TickerSpec:
+    """The :class:`TickerSpec` for trace ``index`` of an ensemble.
+
+    The first ``len(PAPER_TICKERS)`` indices return the Table 1 presets
+    (consuming no randomness); later indices draw a price level and band
+    from ``rng`` -- two uniform draws, in that order, so generators that
+    share a per-trace stream stay bit-compatible with
+    :func:`make_trace_set`.
+    """
+    if index < len(PAPER_TICKERS):
+        return PAPER_TICKERS[index]
+    level = float(rng.uniform(10.0, 65.0))
+    band = float(rng.uniform(0.3, 1.2))
+    return TickerSpec(f"SYN{index:03d}", level, level + band)

@@ -85,6 +85,7 @@ def generate_trace(
     name: str,
     config: SyntheticTraceConfig,
     rng: np.random.Generator,
+    change_probability: np.ndarray | None = None,
 ) -> Trace:
     """Generate one synthetic price trace.
 
@@ -92,6 +93,20 @@ def generate_trace(
     the tick grid, with each step applied only when a Bernoulli "trade
     happened" draw succeeds.  The price is floored at one tick so it can
     never go non-positive.
+
+    Args:
+        name: Item / ticker identifier.
+        config: Process parameters.
+        rng: Source of randomness (one independent stream per trace).
+        change_probability: Optional per-step trade probability, length
+            ``config.n_samples``, overriding the scalar
+            ``config.change_probability``.  This is the hook the
+            non-stationary workload generators (flash crowds, diurnal
+            cycles; see :mod:`repro.workloads`) use to modulate the
+            update *rate* while keeping the price *dynamics* identical.
+            Exactly one uniform draw is consumed per step either way, so
+            a constant profile equal to the scalar reproduces the
+            default trace bit for bit.
 
     Returns:
         A :class:`~repro.traces.model.Trace` with strictly increasing
@@ -102,7 +117,20 @@ def generate_trace(
     times = np.arange(n, dtype=float) * config.interval_s
 
     innovations = rng.normal(0.0, config.volatility, size=n)
-    trades = rng.random(n) < config.change_probability
+    if change_probability is None:
+        trades = rng.random(n) < config.change_probability
+    else:
+        profile = np.asarray(change_probability, dtype=float)
+        if profile.shape != (n,):
+            raise ConfigurationError(
+                f"change_probability profile must have shape ({n},), "
+                f"got {profile.shape}"
+            )
+        if not np.isfinite(profile).all() or (profile < 0).any() or (profile > 1).any():
+            raise ConfigurationError(
+                "change_probability profile entries must be finite and in [0, 1]"
+            )
+        trades = rng.random(n) < profile
     values = np.empty(n, dtype=float)
     price = config.start_price
     anchor = config.start_price

@@ -1,0 +1,44 @@
+"""Pluggable workload generators: what update streams a run sees.
+
+The paper's evaluation is driven by one stationary synthetic process
+(Table 1); this package makes the update dynamics a swappable,
+seed-deterministic simulation input carried inside the frozen
+:class:`~repro.engine.config.SimulationConfig`:
+
+- :class:`~repro.workloads.table1.Table1Workload` -- the paper's setup,
+  and the default (bit-identical to the pre-workload engine);
+- :class:`~repro.workloads.flash_crowd.FlashCrowdWorkload` -- Pareto
+  bursts of update activity with exponential decay;
+- :class:`~repro.workloads.diurnal.DiurnalWorkload` -- sinusoidally
+  modulated update rate (busy opens, quiet middays);
+- :class:`~repro.workloads.replay.ReplayWorkload` -- deterministic
+  replay of recorded ``time_s,value`` CSV traces.
+
+Select one per run with ``--workload name:key=value,...`` on the CLI or
+``config.with_(workload=make_workload(...))`` in code; compare them with
+the ``workload_sensitivity`` experiment.  ``docs/workloads.md`` shows
+how to author and register a new generator.
+"""
+
+from repro.workloads.base import RngFactory, Workload
+from repro.workloads.diurnal import DiurnalWorkload
+from repro.workloads.flash_crowd import FlashCrowdWorkload
+from repro.workloads.registry import (
+    available_workloads,
+    make_workload,
+    parse_workload_spec,
+)
+from repro.workloads.replay import ReplayWorkload
+from repro.workloads.table1 import Table1Workload
+
+__all__ = [
+    "Workload",
+    "RngFactory",
+    "Table1Workload",
+    "FlashCrowdWorkload",
+    "DiurnalWorkload",
+    "ReplayWorkload",
+    "available_workloads",
+    "make_workload",
+    "parse_workload_spec",
+]

@@ -1,0 +1,86 @@
+"""The workload protocol: what every update-stream generator must be.
+
+The paper's evaluation (Section 5) drives every experiment with one
+stationary synthetic process calibrated to Table 1.  A *workload* makes
+that choice a first-class, swappable simulation input: it is the single
+object that decides what per-(source, item) update streams a run sees.
+The builder calls :meth:`Workload.make_traces` wherever it used to call
+:func:`repro.traces.library.make_trace_set` directly, so everything
+downstream -- policies, churn, sweeps, figures -- is workload-agnostic.
+
+Contract:
+
+- A workload is a **frozen dataclass**: immutable and hashable, because
+  it is carried inside the frozen
+  :class:`~repro.engine.config.SimulationConfig` and the parallel sweep
+  subsystem keys its deterministic merge on config hashability.
+- A workload is **seed-deterministic**: given the same ``rng_factory``
+  (derived from ``config.seed``) and the same parameters it must return
+  bit-identical traces, in every process -- the property that keeps
+  sweeps bit-identical serial vs ``--jobs N``.
+- ``validate()`` raises :class:`~repro.errors.ConfigurationError` on
+  bad parameters; the config calls it at construction time so invalid
+  workloads fail before any simulation work happens.
+
+To add a generator, subclass :class:`Workload` and register it -- see
+:mod:`repro.workloads.registry` and the how-to in ``docs/workloads.md``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, ClassVar
+
+import numpy as np
+
+from repro.traces.model import Trace
+
+__all__ = ["Workload", "RngFactory"]
+
+#: ``index -> numpy Generator``: one independent stream per trace (use
+#: :meth:`repro.sim.rng.RandomStreams.spawn`).
+RngFactory = Callable[[int], np.random.Generator]
+
+
+class Workload(ABC):
+    """Generates the per-item update streams one simulation will see.
+
+    Subclasses are frozen dataclasses holding only hashable parameter
+    fields (floats, ints, strings, tuples); the class itself carries the
+    registry ``name``.
+    """
+
+    #: Registry name; subclasses override (see
+    #: :func:`repro.workloads.registry.make_workload`).
+    name: ClassVar[str] = "abstract"
+
+    def validate(self) -> None:
+        """Check parameter sanity.
+
+        Raises:
+            ConfigurationError: on out-of-range parameters.  The default
+                accepts everything; subclasses override.
+        """
+
+    @abstractmethod
+    def make_traces(
+        self, n_items: int, rng_factory: RngFactory, n_samples: int
+    ) -> list[Trace]:
+        """Generate one :class:`~repro.traces.model.Trace` per item.
+
+        Args:
+            n_items: Number of dynamic data items in the run.
+            rng_factory: Callable ``index -> numpy Generator`` yielding
+                one independent, deterministic stream per item.
+            n_samples: Polled samples per trace (the config's
+                ``trace_samples``); generated traces must not outlive
+                this observation window, and their first sample is the
+                priming value every repository starts with.
+
+        Returns:
+            ``n_items`` traces, index-aligned to the item ids.
+        """
+
+    def describe(self) -> str:
+        """One-line human-readable digest (used by the CLI banner)."""
+        return self.name

@@ -1,0 +1,95 @@
+"""Diurnal workload: sinusoidally modulated update rate.
+
+Trading (and most human-driven update sources) follows a daily rhythm:
+busy opens, quiet middays, busy closes.  This workload modulates the
+per-step trade probability of the Table 1-calibrated price process with
+a sinusoid -- ``cycles`` full periods across the observation window --
+so a run alternates between high-rate and low-rate regimes.  Policies
+tuned on the stationary average see both halves of their error: wasted
+checks in the trough, queueing-induced staleness at the crest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traces.library import config_for_spec, draw_spec
+from repro.traces.model import Trace
+from repro.traces.synthetic import generate_trace
+from repro.workloads.base import RngFactory, Workload
+
+__all__ = ["DiurnalWorkload"]
+
+
+@dataclass(frozen=True)
+class DiurnalWorkload(Workload):
+    """Sinusoidal update-rate modulation over the observation window.
+
+    The per-step trade probability is
+    ``base_probability * (1 + amplitude * sin(2*pi*cycles*t/span + phase))``,
+    clipped to ``[0, 1]``.  Expressing the period as ``cycles`` per
+    window (rather than absolute seconds) keeps the workload meaningful
+    across scale presets: ``tiny`` (600 s) and ``paper`` (10 000 s) runs
+    both see the same number of busy/quiet phases.
+
+    Attributes:
+        cycles: Full sinusoid periods across the observation window.
+        amplitude: Relative modulation depth in ``[0, 1]``; ``1`` swings
+            between zero and double the base rate.
+        base_probability: Mean per-step trade probability.
+        phase: Phase offset in radians (``0`` starts mid-ramp, rising).
+    """
+
+    name: ClassVar[str] = "diurnal"
+
+    cycles: float = 2.0
+    amplitude: float = 0.8
+    base_probability: float = 0.35
+    phase: float = 0.0
+
+    def validate(self) -> None:
+        if not (math.isfinite(self.cycles) and self.cycles > 0):
+            raise ConfigurationError(
+                f"cycles must be positive and finite, got {self.cycles!r}"
+            )
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ConfigurationError(
+                f"amplitude must be in [0, 1], got {self.amplitude!r}"
+            )
+        if not 0.0 < self.base_probability <= 1.0:
+            raise ConfigurationError(
+                f"base_probability must be in (0, 1], got {self.base_probability!r}"
+            )
+        if not math.isfinite(self.phase):
+            raise ConfigurationError(f"phase must be finite, got {self.phase!r}")
+
+    def profile(self, n_samples: int) -> np.ndarray:
+        """The per-step trade-probability profile (same for every item)."""
+        t = np.arange(n_samples, dtype=float)
+        span = float(max(n_samples - 1, 1))
+        wave = np.sin(2.0 * np.pi * self.cycles * t / span + self.phase)
+        return np.clip(self.base_probability * (1.0 + self.amplitude * wave), 0.0, 1.0)
+
+    def make_traces(
+        self, n_items: int, rng_factory: RngFactory, n_samples: int
+    ) -> list[Trace]:
+        profile = self.profile(n_samples)
+        traces: list[Trace] = []
+        for i in range(n_items):
+            rng = rng_factory(i)
+            spec = draw_spec(i, rng)
+            trace = generate_trace(
+                spec.ticker,
+                config_for_spec(spec, n_samples),
+                rng,
+                change_probability=profile,
+            )
+            trace.meta["workload"] = self.name
+            trace.meta["cycles"] = self.cycles
+            traces.append(trace)
+        return traces

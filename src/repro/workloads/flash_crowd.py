@@ -1,0 +1,124 @@
+"""Flash-crowd workload: Pareto-sized bursts of update activity.
+
+Real dynamic-data sources are not stationary: earnings releases, breaking
+news and market opens produce *flash crowds* -- short windows in which an
+item updates far more often than its quiet-time baseline.  This workload
+keeps the Table 1-calibrated price *dynamics* (the mean-reverting tick
+walk) but modulates the per-second probability that a fresh trade is
+observed: each item gets a few burst episodes whose peak heights are
+drawn from a Pareto distribution (heavy-tailed, like flash-crowd
+literature measures) and whose influence decays exponentially after
+onset.
+
+The interesting systems question it poses: dissemination trees sized for
+the average rate suddenly see their bottleneck nodes saturate (the
+``comp_delay`` serialisation), so fidelity under a flash crowd separates
+policies that filter aggressively from those that flood.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traces.library import config_for_spec, draw_spec
+from repro.traces.model import Trace
+from repro.traces.synthetic import generate_trace
+from repro.workloads.base import RngFactory, Workload
+
+__all__ = ["FlashCrowdWorkload"]
+
+#: Bursts start inside this fraction of the window, leaving a quiet head
+#: (so the priming value is representative) and tail (so post-burst
+#: recovery is observable).
+_BURST_WINDOW = (0.1, 0.8)
+
+
+@dataclass(frozen=True)
+class FlashCrowdWorkload(Workload):
+    """Bursty update arrivals with Pareto-distributed burst intensity.
+
+    Per item, ``n_bursts`` onset times are placed uniformly inside the
+    observation window; burst ``j`` adds
+    ``intensity * pareto_j * exp(-(t - onset_j) / decay_s)`` to the
+    per-step trade probability, where ``pareto_j >= 1`` is a Pareto
+    draw with shape ``alpha`` (smaller ``alpha`` -- heavier tail --
+    occasional enormous crowds).  The summed profile is clipped to
+    ``[0, 1]``.
+
+    Attributes:
+        n_bursts: Burst episodes per item.
+        intensity: Trade-probability scale of a minimal burst; a burst's
+            peak is ``intensity`` times its Pareto multiplier.
+        decay_s: Exponential decay time constant of a burst, seconds.
+        alpha: Pareto tail index of the burst multipliers (must be
+            ``> 0``; below ~2 the multiplier variance is infinite).
+        base_probability: Quiet-time per-step trade probability.
+    """
+
+    name: ClassVar[str] = "flash_crowd"
+
+    n_bursts: int = 3
+    intensity: float = 0.6
+    decay_s: float = 30.0
+    alpha: float = 1.5
+    base_probability: float = 0.05
+
+    def validate(self) -> None:
+        if self.n_bursts < 1:
+            raise ConfigurationError(
+                f"n_bursts must be >= 1, got {self.n_bursts!r}"
+            )
+        # "not (x > 0)" rather than "x <= 0": NaN fails every comparison,
+        # so the inverted form rejects it here instead of letting it leak
+        # into trace generation with a misleading error.
+        for name in ("intensity", "decay_s", "alpha"):
+            value = getattr(self, name)
+            if not (math.isfinite(value) and value > 0):
+                raise ConfigurationError(
+                    f"{name} must be positive and finite, got {value!r}"
+                )
+        if not 0.0 < self.base_probability <= 1.0:
+            raise ConfigurationError(
+                f"base_probability must be in (0, 1], got {self.base_probability!r}"
+            )
+
+    def profile(self, n_samples: int, rng: np.random.Generator) -> np.ndarray:
+        """The per-step trade-probability profile for one item."""
+        t = np.arange(n_samples, dtype=float)
+        span = float(max(n_samples - 1, 1))
+        lo, hi = _BURST_WINDOW
+        onsets = np.sort(rng.uniform(lo * span, hi * span, size=self.n_bursts))
+        multipliers = 1.0 + rng.pareto(self.alpha, size=self.n_bursts)
+        profile = np.full(n_samples, self.base_probability)
+        for onset, multiplier in zip(onsets, multipliers):
+            after = t >= onset
+            profile[after] += (
+                self.intensity
+                * multiplier
+                * np.exp(-(t[after] - onset) / self.decay_s)
+            )
+        return np.clip(profile, 0.0, 1.0)
+
+    def make_traces(
+        self, n_items: int, rng_factory: RngFactory, n_samples: int
+    ) -> list[Trace]:
+        traces: list[Trace] = []
+        for i in range(n_items):
+            rng = rng_factory(i)
+            spec = draw_spec(i, rng)
+            profile = self.profile(n_samples, rng)
+            trace = generate_trace(
+                spec.ticker,
+                config_for_spec(spec, n_samples),
+                rng,
+                change_probability=profile,
+            )
+            trace.meta["workload"] = self.name
+            trace.meta["burst_peak_probability"] = float(profile.max())
+            traces.append(trace)
+        return traces

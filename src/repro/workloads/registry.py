@@ -1,0 +1,119 @@
+"""Workload registry: build and parse workload specs by name.
+
+Mirrors the dissemination-policy registry: one flat name -> class map,
+plus the CLI's spec mini-language --
+
+    table1
+    flash_crowd:intensity=1.2,decay_s=20
+    diurnal:cycles=4,amplitude=0.5
+    replay:path=traces/,cycle=false
+
+``name[:key=value,...]`` where each key is a dataclass field of the
+named workload and each value is coerced to the field's declared type.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import Workload
+from repro.workloads.diurnal import DiurnalWorkload
+from repro.workloads.flash_crowd import FlashCrowdWorkload
+from repro.workloads.replay import ReplayWorkload
+from repro.workloads.table1 import Table1Workload
+
+__all__ = ["available_workloads", "make_workload", "parse_workload_spec"]
+
+_REGISTRY: dict[str, type[Workload]] = {
+    cls.name: cls
+    for cls in (Table1Workload, FlashCrowdWorkload, DiurnalWorkload, ReplayWorkload)
+}
+
+
+def available_workloads() -> list[str]:
+    """Names accepted by :func:`make_workload`, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_workload(name: str, **params) -> Workload:
+    """Instantiate (and validate) a workload by registry name.
+
+    Raises:
+        ConfigurationError: on an unknown name, an unknown parameter, or
+            parameter values the workload's ``validate`` rejects.
+    """
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; choose from {available_workloads()}"
+        ) from None
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"workload {name!r} has no parameter(s) {unknown}; "
+            f"it accepts {sorted(known) or 'none'}"
+        )
+    workload = cls(**params)
+    workload.validate()
+    return workload
+
+
+def _coerce(text: str, annotation: type):
+    """Coerce one ``key=value`` string to a field's declared type."""
+    if annotation is bool:
+        lowered = text.strip().lower()
+        if lowered in ("true", "1", "yes", "on"):
+            return True
+        if lowered in ("false", "0", "no", "off"):
+            return False
+        raise ConfigurationError(f"expected a boolean, got {text!r}")
+    if annotation in (int, float):
+        try:
+            return annotation(text)
+        except ValueError:
+            raise ConfigurationError(
+                f"expected {annotation.__name__}, got {text!r}"
+            ) from None
+    return text
+
+
+def parse_workload_spec(spec: str) -> Workload:
+    """Parse the CLI's ``name[:key=value,...]`` workload mini-language.
+
+    Raises:
+        ConfigurationError: on malformed specs, unknown names or
+            parameters, or invalid parameter values.
+    """
+    spec = spec.strip()
+    if not spec:
+        raise ConfigurationError("workload spec is empty")
+    name, _, params_text = spec.partition(":")
+    name = name.strip().lower()
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; choose from {available_workloads()}"
+        ) from None
+    hints = typing.get_type_hints(cls)
+    field_types = {f.name: hints[f.name] for f in dataclasses.fields(cls)}
+    params: dict = {}
+    if params_text:
+        for part in params_text.split(","):
+            key, eq, value = part.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise ConfigurationError(
+                    f"workload parameter {part!r} is not of the form key=value"
+                )
+            if key not in field_types:
+                raise ConfigurationError(
+                    f"workload {name!r} has no parameter {key!r}; "
+                    f"it accepts {sorted(field_types) or 'none'}"
+                )
+            params[key] = _coerce(value.strip(), field_types[key])
+    return make_workload(name, **params)

@@ -1,0 +1,89 @@
+"""Trace-replay workload: drive a run from recorded CSV traces.
+
+The paper drove its evaluation from real Yahoo! stock polls; this
+workload restores that ability.  Point it at a ``time_s,value`` CSV (the
+:mod:`repro.traces.io` format) or at a directory of them, and each item
+replays one recorded trace -- deterministically, consuming no
+randomness, so replayed runs remain bit-identical serial vs ``--jobs N``
+and across processes.
+
+Traces longer than the config's observation window are truncated to
+``trace_samples`` samples; when the directory holds fewer traces than
+the run has items, files are assigned round-robin (disable with
+``cycle=false`` to make that a hard error instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import ClassVar
+
+from repro.errors import ConfigurationError, TraceError
+from repro.traces.io import read_trace_csv
+from repro.traces.model import Trace
+from repro.workloads.base import RngFactory, Workload
+
+__all__ = ["ReplayWorkload"]
+
+
+@dataclass(frozen=True)
+class ReplayWorkload(Workload):
+    """Replay recorded traces from a CSV file or directory.
+
+    Attributes:
+        path: A ``time_s,value`` CSV file, or a directory scanned for
+            ``*.csv`` (sorted by filename for a stable item order).
+        cycle: Assign files to items round-robin when there are fewer
+            files than items; when false, a shortfall raises instead.
+    """
+
+    name: ClassVar[str] = "replay"
+
+    path: str = ""
+    cycle: bool = True
+
+    def validate(self) -> None:
+        if not self.path:
+            raise ConfigurationError(
+                "replay workload needs a path (e.g. --workload replay:path=traces/)"
+            )
+
+    def trace_files(self) -> list[Path]:
+        """The CSV files backing the replay, in item-assignment order.
+
+        Raises:
+            TraceError: when the path does not exist or a directory
+                holds no ``*.csv`` files.
+        """
+        self.validate()
+        root = Path(self.path)
+        if root.is_dir():
+            files = sorted(root.glob("*.csv"))
+            if not files:
+                raise TraceError(f"replay directory {root} holds no *.csv files")
+            return files
+        if root.is_file():
+            return [root]
+        raise TraceError(f"replay path {root} does not exist")
+
+    def make_traces(
+        self, n_items: int, rng_factory: RngFactory, n_samples: int
+    ) -> list[Trace]:
+        files = self.trace_files()
+        if len(files) < n_items and not self.cycle:
+            raise TraceError(
+                f"replay path {self.path} holds {len(files)} traces but the "
+                f"run has {n_items} items (set cycle=true to round-robin)"
+            )
+        # Parse each unique file once; cycling then hands out sliced
+        # copies (Trace.slice always copies), never aliased arrays.
+        parsed = {path: read_trace_csv(path) for path in files[:n_items]}
+        traces: list[Trace] = []
+        for i in range(n_items):
+            path = files[i % len(files)]
+            trace = parsed[path].slice(n_samples)
+            trace.meta["workload"] = self.name
+            trace.meta["replayed_from"] = str(path)
+            traces.append(trace)
+        return traces

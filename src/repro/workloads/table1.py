@@ -1,0 +1,33 @@
+"""The paper's workload: stationary Table 1-calibrated stock traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.traces.library import make_trace_set
+from repro.traces.model import Trace
+from repro.workloads.base import RngFactory, Workload
+
+__all__ = ["Table1Workload"]
+
+
+@dataclass(frozen=True)
+class Table1Workload(Workload):
+    """The default workload: the evaluation setup of the paper.
+
+    Delegates to :func:`repro.traces.library.make_trace_set` unchanged
+    -- the first six items are the Table 1 tickers, the rest draw a
+    price level and band in the range the paper's traces cover.  Because
+    the delegation passes the same per-item streams through the same
+    code path, a config that does not name a workload produces traces
+    bit-identical to every pre-workload-subsystem release (pinned by
+    ``tests/workloads/test_engine_integration.py``).
+    """
+
+    name: ClassVar[str] = "table1"
+
+    def make_traces(
+        self, n_items: int, rng_factory: RngFactory, n_samples: int
+    ) -> list[Trace]:
+        return make_trace_set(n_items, rng_factory=rng_factory, n_samples=n_samples)

@@ -73,3 +73,30 @@ def test_with_revalidates():
     config = SimulationConfig()
     with pytest.raises(ConfigurationError):
         config.with_(offered_degree=0)
+
+
+def test_default_workload_is_table1():
+    from repro.workloads import Table1Workload
+
+    assert SimulationConfig().workload == Table1Workload()
+
+
+def test_configs_differing_only_in_workload_are_distinct_hash_keys():
+    from repro.workloads import DiurnalWorkload
+
+    base = SimulationConfig()
+    other = base.with_(workload=DiurnalWorkload())
+    assert base != other
+    # The sweep merge keys results by config: workload-only deltas must
+    # land in distinct dict slots.
+    assert len({base: "a", other: "b"}) == 2
+    assert base == SimulationConfig()
+
+
+def test_invalid_workload_rejected():
+    from repro.workloads import FlashCrowdWorkload
+
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(workload="flash_crowd")
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(workload=FlashCrowdWorkload(alpha=-1.0))

@@ -14,6 +14,7 @@ def test_parser_defaults():
     assert not args.controlled
     assert args.jobs == 1
     assert args.degrees is None
+    assert args.workload is None
 
 
 def test_parser_rejects_unknown_preset():
@@ -43,6 +44,33 @@ def test_cli_delay_overrides(capsys):
     cli_main(["--preset", "tiny", "--comm-delay", "40", "--comp-delay", "5"])
     out = capsys.readouterr().out
     assert "mean comm delay       : 40.0 ms" in out
+
+
+def test_parser_rejects_malformed_workload_spec():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--workload", "tsunami"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--workload", "flash_crowd:intensity=hot"])
+
+
+def test_cli_workload_run(capsys):
+    cli_main(
+        ["--preset", "tiny", "--workload", "flash_crowd:intensity=1.2", "--seed", "5"]
+    )
+    out = capsys.readouterr().out
+    assert "workload=flash_crowd" in out
+    assert "loss of fidelity" in out
+
+
+def test_cli_workload_sweep_serial_and_parallel_agree(capsys):
+    argv = ["--preset", "tiny", "--degrees", "2,4", "--workload", "diurnal",
+            "--seed", "5"]
+    cli_main(argv + ["--jobs", "1"])
+    serial = capsys.readouterr().out
+    cli_main(argv + ["--jobs", "2"])
+    parallel = capsys.readouterr().out
+    assert "workload=diurnal" in serial
+    assert serial.splitlines()[1:] == parallel.splitlines()[1:]
 
 
 def test_parser_rejects_malformed_churn_spec():
@@ -96,6 +124,7 @@ def test_run_all_knows_every_experiment():
         "pull_baseline",
         "hybrid_tradeoff",
         "churn_resilience",
+        "workload_sensitivity",
     }
 
 

@@ -1,0 +1,142 @@
+"""Behavioural tests for the workload generators.
+
+Each generator must be seed-deterministic (the sweep subsystem's
+bit-identity rests on it) and must actually produce the update dynamics
+its name promises: bursts cluster changes, diurnal modulation
+concentrates them in the crest half-cycles, replay is lossless.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.traces.io import write_trace_csv
+from repro.traces.library import make_trace_set
+from repro.errors import TraceError
+from repro.workloads import (
+    DiurnalWorkload,
+    FlashCrowdWorkload,
+    ReplayWorkload,
+    Table1Workload,
+)
+
+N_ITEMS = 4
+N_SAMPLES = 1_000
+
+
+def factory(seed=3913):
+    streams = RandomStreams(seed)
+    return lambda i: streams.spawn("traces", i)
+
+
+def change_times(trace):
+    changed = trace.changes()
+    return np.asarray(changed.times[1:])  # index 0 is the priming value
+
+
+ALL_GENERATED = [Table1Workload(), FlashCrowdWorkload(), DiurnalWorkload()]
+
+
+@pytest.mark.parametrize("workload", ALL_GENERATED, ids=lambda w: w.name)
+def test_generators_are_seed_deterministic(workload):
+    first = workload.make_traces(N_ITEMS, factory(), N_SAMPLES)
+    second = workload.make_traces(N_ITEMS, factory(), N_SAMPLES)
+    for a, b in zip(first, second):
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.values, b.values)
+    different_seed = workload.make_traces(N_ITEMS, factory(seed=7), N_SAMPLES)
+    assert any(
+        not np.array_equal(a.values, b.values)
+        for a, b in zip(first, different_seed)
+    )
+
+
+@pytest.mark.parametrize("workload", ALL_GENERATED, ids=lambda w: w.name)
+def test_generated_traces_fit_the_observation_window(workload):
+    traces = workload.make_traces(N_ITEMS, factory(), N_SAMPLES)
+    assert len(traces) == N_ITEMS
+    for trace in traces:
+        assert len(trace) == N_SAMPLES
+        assert trace.times[0] == 0.0
+        assert trace.span == pytest.approx(N_SAMPLES - 1)
+
+
+def test_table1_workload_is_the_seed_trace_set():
+    via_workload = Table1Workload().make_traces(N_ITEMS, factory(), N_SAMPLES)
+    direct = make_trace_set(N_ITEMS, rng_factory=factory(), n_samples=N_SAMPLES)
+    for a, b in zip(via_workload, direct):
+        assert a.name == b.name
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.values, b.values)
+
+
+def test_flash_crowd_concentrates_changes_after_bursts():
+    workload = FlashCrowdWorkload(n_bursts=2, intensity=0.9, decay_s=40.0)
+    profile = workload.profile(N_SAMPLES, np.random.default_rng(1))
+    # The profile spikes somewhere and relaxes back to the quiet base.
+    assert profile.max() > 5 * workload.base_probability
+    assert profile.min() == pytest.approx(workload.base_probability, rel=1e-6)
+
+    traces = workload.make_traces(N_ITEMS, factory(), N_SAMPLES)
+    for trace in traces:
+        times = change_times(trace)
+        # Change density inside the busiest 10% window must dominate the
+        # stationary expectation under the quiet base rate.
+        counts, _ = np.histogram(times, bins=10, range=(0.0, N_SAMPLES - 1.0))
+        quiet_expectation = workload.base_probability * N_SAMPLES / 10
+        assert counts.max() > 2 * quiet_expectation
+
+
+def test_diurnal_changes_follow_the_modulation():
+    workload = DiurnalWorkload(cycles=1.0, amplitude=1.0, base_probability=0.4)
+    profile = workload.profile(N_SAMPLES)
+    assert profile.max() <= 1.0 and profile.min() >= 0.0
+    # cycles=1, phase=0: the first half-window is the crest, the second
+    # the trough; change counts must reflect that asymmetry strongly.
+    traces = workload.make_traces(N_ITEMS, factory(), N_SAMPLES)
+    for trace in traces:
+        times = change_times(trace)
+        crest = int((times < N_SAMPLES / 2).sum())
+        trough = int((times >= N_SAMPLES / 2).sum())
+        assert crest > 2 * max(trough, 1)
+
+
+def test_replay_roundtrip_is_lossless(tmp_path):
+    originals = make_trace_set(N_ITEMS, rng_factory=factory(), n_samples=N_SAMPLES)
+    for i, trace in enumerate(originals):
+        write_trace_csv(trace, tmp_path / f"item{i:03d}.csv")
+    replayed = ReplayWorkload(path=str(tmp_path)).make_traces(
+        N_ITEMS, factory(), N_SAMPLES
+    )
+    for original, back in zip(originals, replayed):
+        assert np.array_equal(original.times, back.times)
+        assert np.array_equal(original.values, back.values)
+
+
+def test_replay_single_file_and_cycling(tmp_path):
+    trace = make_trace_set(1, rng_factory=factory(), n_samples=50)[0]
+    path = tmp_path / "only.csv"
+    write_trace_csv(trace, path)
+    cycled = ReplayWorkload(path=str(path)).make_traces(3, factory(), 50)
+    assert len(cycled) == 3
+    for back in cycled:
+        assert np.array_equal(back.values, trace.values)
+    with pytest.raises(TraceError, match="cycle"):
+        ReplayWorkload(path=str(path), cycle=False).make_traces(3, factory(), 50)
+
+
+def test_replay_truncates_to_the_observation_window(tmp_path):
+    trace = make_trace_set(1, rng_factory=factory(), n_samples=200)[0]
+    write_trace_csv(trace, tmp_path / "long.csv")
+    short = ReplayWorkload(path=str(tmp_path)).make_traces(1, factory(), 120)[0]
+    assert len(short) == 120
+    assert np.array_equal(short.values, trace.values[:120])
+
+
+def test_replay_missing_paths_rejected(tmp_path):
+    with pytest.raises(TraceError, match="does not exist"):
+        ReplayWorkload(path=str(tmp_path / "nope")).make_traces(1, factory(), 10)
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(TraceError, match="no \\*\\.csv"):
+        ReplayWorkload(path=str(empty)).make_traces(1, factory(), 10)

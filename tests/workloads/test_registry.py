@@ -1,0 +1,102 @@
+"""Unit tests for the workload registry and spec mini-language."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    DiurnalWorkload,
+    FlashCrowdWorkload,
+    ReplayWorkload,
+    Table1Workload,
+    available_workloads,
+    make_workload,
+    parse_workload_spec,
+)
+
+
+def test_all_four_generators_registered():
+    assert available_workloads() == ["diurnal", "flash_crowd", "replay", "table1"]
+
+
+def test_make_workload_by_name():
+    assert make_workload("table1") == Table1Workload()
+    assert make_workload("flash_crowd", intensity=1.5) == FlashCrowdWorkload(
+        intensity=1.5
+    )
+
+
+def test_make_workload_unknown_name():
+    with pytest.raises(ConfigurationError, match="unknown workload"):
+        make_workload("tsunami")
+
+
+def test_make_workload_unknown_parameter():
+    with pytest.raises(ConfigurationError, match="no parameter"):
+        make_workload("diurnal", wavelength=3)
+
+
+def test_make_workload_validates():
+    with pytest.raises(ConfigurationError, match="amplitude"):
+        make_workload("diurnal", amplitude=2.0)
+
+
+def test_parse_bare_name():
+    assert parse_workload_spec("table1") == Table1Workload()
+    assert parse_workload_spec("  FLASH_CROWD  ") == FlashCrowdWorkload()
+
+
+def test_parse_parameters_coerced_to_field_types():
+    workload = parse_workload_spec("flash_crowd:n_bursts=5,intensity=1.25,decay_s=10")
+    assert workload == FlashCrowdWorkload(n_bursts=5, intensity=1.25, decay_s=10.0)
+    assert isinstance(workload.n_bursts, int)
+    assert isinstance(workload.decay_s, float)
+
+
+def test_parse_bool_and_str_parameters():
+    workload = parse_workload_spec("replay:path=traces/,cycle=false")
+    assert workload == ReplayWorkload(path="traces/", cycle=False)
+    assert parse_workload_spec("replay:path=x,cycle=TRUE").cycle is True
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "",
+        "flash_crowd:intensity",
+        "flash_crowd:=3",
+        "flash_crowd:burstiness=3",
+        "diurnal:cycles=fast",
+        "replay:cycle=maybe,path=x",
+        "unknown:k=v",
+    ],
+)
+def test_parse_rejects_malformed_specs(spec):
+    with pytest.raises(ConfigurationError):
+        parse_workload_spec(spec)
+
+
+def test_workloads_are_hashable_and_value_equal():
+    a = DiurnalWorkload(cycles=3.0)
+    b = DiurnalWorkload(cycles=3.0)
+    assert a == b and hash(a) == hash(b)
+    assert a != DiurnalWorkload(cycles=4.0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(name="flash_crowd", n_bursts=0),
+        dict(name="flash_crowd", intensity=0.0),
+        dict(name="flash_crowd", decay_s=-1.0),
+        dict(name="flash_crowd", alpha=0.0),
+        dict(name="flash_crowd", base_probability=0.0),
+        dict(name="diurnal", cycles=0.0),
+        dict(name="diurnal", base_probability=1.5),
+        dict(name="diurnal", phase=float("nan")),
+        dict(name="replay"),  # path is mandatory
+    ],
+)
+def test_invalid_parameters_rejected(kwargs):
+    name = kwargs.pop("name")
+    with pytest.raises(ConfigurationError):
+        make_workload(name, **kwargs)
