@@ -9,6 +9,13 @@ Examples::
     python -m repro --churn 2,1,2                # mid-run membership churn
     python -m repro --workload flash_crowd:intensity=1.2
     python -m repro --workload replay:path=my_traces/
+
+The declarative experiment registry hangs off the ``experiments``
+subcommand::
+
+    python -m repro experiments list
+    python -m repro experiments show figure3
+    python -m repro experiments run figure3 figure8 --preset tiny --jobs 4
 """
 
 from __future__ import annotations
@@ -117,11 +124,181 @@ def build_parser() -> argparse.ArgumentParser:
         help="target mean repo-to-repo delay (default: topology's own)",
     )
     parser.add_argument("--seed", type=int, default=None, help="master seed")
+
+    subcommands = parser.add_subparsers(
+        dest="command", metavar="COMMAND",
+        description="optional subcommands (default: run one simulation)",
+    )
+    experiments = subcommands.add_parser(
+        "experiments",
+        help="declarative experiment registry: list | show | run",
+        description=(
+            "Discover and run the registered experiments (the paper's "
+            "tables/figures and the system extensions) through the shared "
+            "cached execution plane."
+        ),
+    )
+    actions = experiments.add_subparsers(
+        dest="experiments_command", metavar="ACTION", required=True
+    )
+
+    actions.add_parser(
+        "list", help="names and descriptions of every registered experiment"
+    )
+
+    # The subcommand options reuse the top-level spelling (--preset,
+    # --jobs) but need their own dests: argparse parses the subcommand
+    # *after* the main options, so a shared dest would silently clobber
+    # an explicit top-level value with the subparser's default.
+    show = actions.add_parser(
+        "show", help="one experiment's description, parameter schema and plan"
+    )
+    show.add_argument("name", help="registered experiment name")
+    show.add_argument(
+        "--preset", dest="exp_preset", default="tiny",
+        help="preset used to size the plan preview",
+    )
+
+    run = actions.add_parser(
+        "run", help="run experiments through the shared cached sweep plane"
+    )
+    run.add_argument("names", nargs="+", help="registered experiment names")
+    run.add_argument(
+        "--preset", dest="exp_preset", default="small",
+        help="tiny | small | paper",
+    )
+    run.add_argument(
+        "--jobs", dest="exp_jobs", type=_job_count, default=1, metavar="N",
+        help="worker processes for the shared sweep (1 = serial, 0 = one "
+        "per CPU); results are bit-identical for every value",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every point, ignoring the content-addressed cache",
+    )
+    run.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    run.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="directory for per-experiment JSON artifacts (default: "
+        "<cache-dir>/artifacts/<preset> when caching is on)",
+    )
+    run.add_argument(
+        "--param", action="append", default=[], metavar="EXP.KEY=VALUE",
+        help="typed experiment parameter, e.g. figure3.policy=distributed "
+        "or figure3.t_values=100,50,0 (repeatable)",
+    )
     return parser
+
+
+def _experiments_list() -> None:
+    from repro.experiments import api
+
+    names = api.available_experiments()
+    width = max(len(n) for n in names)
+    for name in names:
+        spec = api.get_experiment(name)
+        print(f"{name:<{width}}  {spec.description}")
+
+
+def _experiments_show(name: str, preset: str) -> None:
+    from repro.experiments import api
+
+    spec = api.get_experiment(name)
+    ctx = api.ExperimentContext(preset=preset, params=spec.resolve_params())
+    plan = spec.plan(ctx)
+    print(f"{spec.name}: {spec.description}")
+    print(f"\nparameters ({len(spec.params)}):")
+    if not spec.params:
+        print("  (none)")
+    for p in spec.params:
+        print(f"  {p.name:<18} {p.kind:<7} default={p.default!r}")
+        if p.help:
+            print(f"  {'':<18} {p.help}")
+    print(
+        f"\nplan ({preset} preset): {len(plan)} sweep configs, "
+        f"{len(set(plan))} distinct"
+    )
+    if plan:
+        print(f"plan fingerprint: {api.plan_fingerprint(plan)[:16]}")
+
+
+def _parse_params(
+    pairs: list[str], names: list[str]
+) -> dict[str, dict[str, object]]:
+    from repro.experiments import api
+
+    params: dict[str, dict[str, object]] = {}
+    for pair in pairs:
+        target, eq, value = pair.partition("=")
+        exp, dot, key = target.partition(".")
+        if not eq or not dot or not exp or not key:
+            raise SystemExit(
+                f"--param expects EXP.KEY=VALUE, got {pair!r}"
+            )
+        if exp not in names:
+            raise SystemExit(
+                f"--param names unknown or unrequested experiment {exp!r}"
+            )
+        spec = api.get_experiment(exp)
+        try:
+            params.setdefault(exp, {})[key] = spec.param(key).coerce(value)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
+    return params
+
+
+def _experiments_run(args) -> None:
+    from pathlib import Path
+
+    from repro.experiments import api
+    from repro.experiments.cache import ResultCache, default_cache_root
+
+    names = list(dict.fromkeys(args.names))
+    known = api.available_experiments()
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise SystemExit(f"unknown experiments: {unknown}; choose from {known}")
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(Path(args.cache_dir or default_cache_root()))
+    artifacts_dir = args.artifacts
+    if artifacts_dir is None and cache is not None:
+        artifacts_dir = cache.root / "artifacts" / args.exp_preset
+
+    report = api.run_experiments(
+        names,
+        preset=args.exp_preset,
+        jobs=args.exp_jobs,
+        cache=cache,
+        artifacts_dir=artifacts_dir,
+        params_by_name=_parse_params(args.param, names),
+        progress=print,
+    )
+    for name in names:
+        print(f"\n{report.texts[name]}")
+    if report.artifacts:
+        print(f"\n[artifacts: {artifacts_dir}]")
 
 
 def main(argv: list[str] | None = None) -> None:
     args = build_parser().parse_args(argv)
+
+    if getattr(args, "command", None) == "experiments":
+        try:
+            if args.experiments_command == "list":
+                _experiments_list()
+            elif args.experiments_command == "show":
+                _experiments_show(args.name, args.exp_preset)
+            else:
+                _experiments_run(args)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
+        return
     overrides: dict = {
         "t_percent": args.t,
         "policy": args.policy,

@@ -1,12 +1,20 @@
-"""Experiment harness: one module per table/figure in the paper.
+"""Experiment harness: a declarative registry of the paper's artefacts.
 
-Every module exposes ``run(preset=..., **overrides) -> ExperimentResult``
-returning the same rows/series the paper plots, and a ``main()`` that
-prints them as an ASCII table.  DESIGN.md §3 maps each experiment id to
-its module; EXPERIMENTS.md records paper-vs-measured numbers.
+Every table/figure (and every system extension) is an
+:class:`~repro.experiments.api.ExperimentSpec` registered in
+:mod:`repro.experiments.api`: a typed parameter schema, a ``plan()``
+yielding its frozen :class:`~repro.engine.config.SimulationConfig` grid
+and a ``collect()`` reducing raw results into the experiment's payload.
+The unified runner executes the union of all requested plans through one
+deduplicated sweep fan-out with a content-addressed result cache
+(:mod:`repro.experiments.cache`), so shared points are simulated once
+and warm reruns skip simulation entirely.
 
-Run everything from the command line::
+Each module still exposes its historical ``run(preset=..., **overrides)``
+and printing ``main()``.  Run everything from the command line::
 
+    python -m repro experiments list
+    python -m repro experiments run figure3 figure8 --preset tiny --jobs 4
     python -m repro.experiments.run_all --preset small
 """
 

@@ -20,56 +20,50 @@ to rot.
 from __future__ import annotations
 
 from repro.engine.churn import schedule_for_config
-from repro.experiments.runner import (
-    ExperimentResult,
-    Series,
-    preset_config,
-    report,
-    sweep,
-)
+from repro.experiments import api
+from repro.experiments.defaults import default_intensities
+from repro.experiments.runner import ExperimentResult, Series, report
 
-__all__ = ["run", "main", "default_intensities"]
+__all__ = ["SPEC", "run", "main", "default_intensities"]
 
 POLICIES = ("distributed", "centralized")
 
 
-def default_intensities(n_repositories: int) -> list[int]:
-    """Churn intensities (events per kind) that fit the repository pool."""
-    cap = max(1, n_repositories // 4)
-    return [k for k in (0, 1, 2, 4, 8) if k <= cap]
-
-
-def run(
-    preset: str = "small",
-    intensities: list[int] | None = None,
-    jobs: int | None = 1,
-    **overrides,
-) -> ExperimentResult:
-    """Sweep churn intensity for each exact dissemination policy."""
-    base = preset_config(preset, **overrides)
+def _grid(ctx: api.ExperimentContext):
+    base = ctx.base_config()
+    intensities = ctx.params["intensities"]
     if intensities is None:
-        intensities = default_intensities(base.n_repositories)
+        intensities = tuple(default_intensities(base.n_repositories))
     schedules = {
         k: schedule_for_config(base, joins=k, departs=k, updates=k)
         for k in intensities
     }
+    return base, intensities, schedules
+
+
+def _plan(ctx: api.ExperimentContext):
+    base, intensities, schedules = _grid(ctx)
+    return tuple(
+        base.with_(policy=policy, churn=schedules[k])
+        for policy in POLICIES
+        for k in intensities
+    )
+
+
+def _collect(ctx: api.ExperimentContext, results) -> ExperimentResult:
+    _base, intensities, schedules = _grid(ctx)
     result = ExperimentResult(
         name="Churn resilience: fidelity under mid-run membership dynamics",
         xlabel="churn events per run",
         ylabel="loss of fidelity (%)",
         xs=[float(len(schedules[k])) for k in intensities],
     )
-    configs = [
-        base.with_(policy=policy, churn=schedules[k])
-        for policy in POLICIES
-        for k in intensities
-    ]
-    losses, runs = sweep(configs, jobs=jobs)
+    losses = [r.loss_of_fidelity for r in results]
     n = len(intensities)
     for i, policy in enumerate(POLICIES):
         result.series.append(Series(label=policy, ys=losses[i * n : (i + 1) * n]))
 
-    worst = runs[n - 1]  # distributed policy at the highest intensity
+    worst = results[n - 1]  # distributed policy at the highest intensity
     result.notes["reconfiguration cost (distributed, max churn)"] = (
         worst.reconfiguration_cost
     )
@@ -80,6 +74,40 @@ def run(
         "final_members"
     )
     return result
+
+
+SPEC = api.register(api.ExperimentSpec(
+    name="churn_resilience",
+    description=(
+        "Both exact policies degrade gracefully under mid-run membership "
+        "churn; reconfiguration costs bursts, not collapse."
+    ),
+    params=(
+        api.ParamSpec("intensities", "ints", None,
+                      "churn events per kind (default: derived from preset)"),
+    ),
+    plan=_plan,
+    collect=_collect,
+    render=report,
+))
+
+
+def run(
+    preset: str = "small",
+    intensities: list[int] | None = None,
+    jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
+    **overrides,
+) -> ExperimentResult:
+    """Sweep churn intensity for each exact dissemination policy."""
+    return api.run_experiment(
+        SPEC.name,
+        preset=preset,
+        jobs=jobs,
+        cache=cache,
+        params=dict(intensities=intensities),
+        overrides=overrides,
+    )
 
 
 def main(preset: str = "small", **overrides) -> str:

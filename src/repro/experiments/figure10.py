@@ -10,10 +10,74 @@ first-order knob, LeLA's internals are second-order.
 
 from __future__ import annotations
 
-from repro.experiments.figure3 import default_degrees
-from repro.experiments.runner import ExperimentResult, Series, preset_config, report, sweep
+from repro.experiments import api
+from repro.experiments.defaults import default_degrees
+from repro.experiments.runner import ExperimentResult, Series, report
 
-__all__ = ["run", "main"]
+__all__ = ["SPEC", "run", "main"]
+
+_ROWS = [
+    (controlled, suffix, pref)
+    for controlled, suffix in ((False, ""), (True, "W"))
+    for pref in ("p1", "p2")
+]
+
+
+def _grid(ctx: api.ExperimentContext):
+    base = ctx.base_config().with_(t_percent=ctx.params["t_percent"])
+    degrees = ctx.params["degrees"]
+    if degrees is None:
+        degrees = tuple(default_degrees(base.n_repositories))
+    return base, degrees
+
+
+def _plan(ctx: api.ExperimentContext):
+    base, degrees = _grid(ctx)
+    return tuple(
+        base.with_(
+            preference=pref,
+            offered_degree=d,
+            policy=ctx.params["policy"],
+            controlled_cooperation=controlled,
+        )
+        for controlled, _suffix, pref in _ROWS
+        for d in degrees
+    )
+
+
+def _collect(ctx: api.ExperimentContext, results) -> ExperimentResult:
+    _base, degrees = _grid(ctx)
+    result = ExperimentResult(
+        name="Figure 10: effect of different preference functions",
+        xlabel="degree of cooperation",
+        ylabel="loss of fidelity (%)",
+        xs=[float(d) for d in degrees],
+    )
+    losses = [r.loss_of_fidelity for r in results]
+    for row, (_controlled, suffix, pref) in enumerate(_ROWS):
+        ys = losses[row * len(degrees):(row + 1) * len(degrees)]
+        result.series.append(Series(label=f"{pref.upper()}{suffix}", ys=ys))
+    return result
+
+
+SPEC = api.register(api.ExperimentSpec(
+    name="figure10",
+    description=(
+        "The LeLA preference function (P1 vs P2) is secondary once the "
+        "degree of cooperation is controlled."
+    ),
+    params=(
+        api.ParamSpec("degrees", "ints", None,
+                      "degree sweep (default: derived from the preset)"),
+        api.ParamSpec("t_percent", "float", 80.0,
+                      "coherency-stringency mix (T%)"),
+        api.ParamSpec("policy", "str", "centralized",
+                      "dissemination policy"),
+    ),
+    plan=_plan,
+    collect=_collect,
+    render=report,
+))
 
 
 def run(
@@ -22,42 +86,22 @@ def run(
     t_percent: float = 80.0,
     policy: str = "centralized",
     jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
     **overrides,
 ) -> ExperimentResult:
     """Sweep degree for P1/P2, plain and controlled."""
-    base = preset_config(preset, t_percent=t_percent, **overrides)
-    if degrees is None:
-        degrees = default_degrees(base.n_repositories)
-    result = ExperimentResult(
-        name="Figure 10: effect of different preference functions",
-        xlabel="degree of cooperation",
-        ylabel="loss of fidelity (%)",
-        xs=[float(d) for d in degrees],
+    return api.run_experiment(
+        SPEC.name,
+        preset=preset,
+        jobs=jobs,
+        cache=cache,
+        params=dict(degrees=degrees, t_percent=t_percent, policy=policy),
+        overrides=overrides,
     )
-    rows = [
-        (controlled, suffix, pref)
-        for controlled, suffix in ((False, ""), (True, "W"))
-        for pref in ("p1", "p2")
-    ]
-    configs = [
-        base.with_(
-            preference=pref,
-            offered_degree=d,
-            policy=policy,
-            controlled_cooperation=controlled,
-        )
-        for controlled, _suffix, pref in rows
-        for d in degrees
-    ]
-    losses, _ = sweep(configs, jobs=jobs)
-    for row, (_controlled, suffix, pref) in enumerate(rows):
-        ys = losses[row * len(degrees):(row + 1) * len(degrees)]
-        result.series.append(Series(label=f"{pref.upper()}{suffix}", ys=ys))
-    return result
 
 
 def main(preset: str = "small", **overrides) -> str:
-    text = report(run(preset=preset, **overrides))
+    text = SPEC.render(run(preset=preset, **overrides))
     print(text)
     return text
 

@@ -14,10 +14,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.engine.sweep import run_sweep
-from repro.experiments.runner import preset_config
+from repro.experiments import api
 
-__all__ = ["Figure11Result", "run", "main"]
+__all__ = ["Figure11Result", "SPEC", "run", "main"]
 
 
 @dataclass
@@ -46,25 +45,20 @@ class Figure11Result:
         return self.centralized_messages / self.distributed_messages
 
 
-def run(
-    preset: str = "small",
-    t_percent: float = 80.0,
-    controlled_cooperation: bool = True,
-    offered_degree: int | None = None,
-    jobs: int | None = 1,
-    **overrides,
-) -> Figure11Result:
-    """Run both exact policies over the identical workload and tree."""
-    base = preset_config(preset, t_percent=t_percent, **overrides)
-    if offered_degree is not None:
-        base = base.with_(offered_degree=offered_degree)
-    base = base.with_(controlled_cooperation=controlled_cooperation)
+def _base(ctx: api.ExperimentContext):
+    base = ctx.base_config().with_(t_percent=ctx.params["t_percent"])
+    if ctx.params["offered_degree"] is not None:
+        base = base.with_(offered_degree=ctx.params["offered_degree"])
+    return base.with_(controlled_cooperation=ctx.params["controlled_cooperation"])
 
-    central, dist = run_sweep(
-        [base.with_(policy="centralized"), base.with_(policy="distributed")],
-        jobs=jobs,
-    )
 
+def _plan(ctx: api.ExperimentContext):
+    base = _base(ctx)
+    return (base.with_(policy="centralized"), base.with_(policy="distributed"))
+
+
+def _collect(ctx: api.ExperimentContext, results) -> Figure11Result:
+    central, dist = results
     return Figure11Result(
         centralized_source_checks=central.counters.source_checks,
         distributed_source_checks=dist.counters.source_checks,
@@ -75,8 +69,7 @@ def run(
     )
 
 
-def main(preset: str = "small", **overrides) -> str:
-    r = run(preset=preset, **overrides)
+def _render(r: Figure11Result) -> str:
     lines = [
         "== Figure 11: centralised vs. distributed dissemination ==",
         "(a) source checks:",
@@ -91,7 +84,55 @@ def main(preset: str = "small", **overrides) -> str:
         f"    centralised  {r.centralized_loss:.2f}%",
         f"    distributed  {r.distributed_loss:.2f}%",
     ]
-    text = "\n".join(lines)
+    return "\n".join(lines)
+
+
+SPEC = api.register(api.ExperimentSpec(
+    name="figure11",
+    description=(
+        "The centralised source performs ~50% more coherency checks than "
+        "the distributed approach; message counts are comparable."
+    ),
+    params=(
+        api.ParamSpec("t_percent", "float", 80.0,
+                      "coherency-stringency mix (T%)"),
+        api.ParamSpec("controlled_cooperation", "bool", True,
+                      "clamp the degree with Eq. (2)"),
+        api.ParamSpec("offered_degree", "int", None,
+                      "offered degree (default: preset value)"),
+    ),
+    plan=_plan,
+    collect=_collect,
+    render=_render,
+))
+
+
+def run(
+    preset: str = "small",
+    t_percent: float = 80.0,
+    controlled_cooperation: bool = True,
+    offered_degree: int | None = None,
+    jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
+    **overrides,
+) -> Figure11Result:
+    """Run both exact policies over the identical workload and tree."""
+    return api.run_experiment(
+        SPEC.name,
+        preset=preset,
+        jobs=jobs,
+        cache=cache,
+        params=dict(
+            t_percent=t_percent,
+            controlled_cooperation=controlled_cooperation,
+            offered_degree=offered_degree,
+        ),
+        overrides=overrides,
+    )
+
+
+def main(preset: str = "small", **overrides) -> str:
+    text = _render(run(preset=preset, **overrides))
     print(text)
     return text
 

@@ -12,20 +12,65 @@ zero as T drops.
 
 from __future__ import annotations
 
-from repro.experiments.runner import ExperimentResult, Series, preset_config, report, sweep
+from repro.experiments import api
+from repro.experiments.defaults import DEFAULT_T_VALUES, default_degrees
+from repro.experiments.runner import ExperimentResult, Series, report
 
-__all__ = ["DEFAULT_T_VALUES", "default_degrees", "run", "main"]
-
-#: The paper's seven coherency-stringency mixes.
-DEFAULT_T_VALUES: tuple[float, ...] = (100.0, 90.0, 80.0, 70.0, 50.0, 20.0, 0.0)
+__all__ = ["DEFAULT_T_VALUES", "default_degrees", "SPEC", "run", "main"]
 
 
-def default_degrees(n_repositories: int) -> list[int]:
-    """A log-ish sweep from a chain to full fan-out."""
-    candidates = [1, 2, 3, 5, 8, 12, 20, 35, 60, 100]
-    degrees = [d for d in candidates if d < n_repositories]
-    degrees.append(n_repositories)
-    return degrees
+def _grid(ctx: api.ExperimentContext):
+    base = ctx.base_config()
+    degrees = ctx.params["degrees"]
+    if degrees is None:
+        degrees = tuple(default_degrees(base.n_repositories))
+    return base, degrees
+
+
+def _plan(ctx: api.ExperimentContext):
+    base, degrees = _grid(ctx)
+    return tuple(
+        base.with_(t_percent=t, offered_degree=d, policy=ctx.params["policy"],
+                   controlled_cooperation=False)
+        for t in ctx.params["t_values"]
+        for d in degrees
+    )
+
+
+def _collect(ctx: api.ExperimentContext, results) -> ExperimentResult:
+    _base, degrees = _grid(ctx)
+    t_values = ctx.params["t_values"]
+    result = ExperimentResult(
+        name="Figure 3: need for limiting cooperation",
+        xlabel="degree of cooperation",
+        ylabel="loss of fidelity (%)",
+        xs=[float(d) for d in degrees],
+    )
+    losses = [r.loss_of_fidelity for r in results]
+    for row, t in enumerate(t_values):
+        ys = losses[row * len(degrees):(row + 1) * len(degrees)]
+        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
+    return result
+
+
+SPEC = api.register(api.ExperimentSpec(
+    name="figure3",
+    description=(
+        "Loss of fidelity vs degree of cooperation is a U-curve; "
+        "coherency stringency deepens it (need for limiting cooperation)."
+    ),
+    params=(
+        api.ParamSpec("t_values", "floats", DEFAULT_T_VALUES,
+                      "coherency-stringency mixes (T%)"),
+        api.ParamSpec("degrees", "ints", None,
+                      "degree sweep (default: derived from the preset)"),
+        api.ParamSpec("policy", "str", "centralized",
+                      "dissemination policy for the baseline"),
+    ),
+    plan=_plan,
+    collect=_collect,
+    render=report,
+))
 
 
 def run(
@@ -34,35 +79,22 @@ def run(
     degrees: list[int] | None = None,
     policy: str = "centralized",
     jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
     **overrides,
 ) -> ExperimentResult:
     """Sweep (T, degree) and collect system loss of fidelity."""
-    base = preset_config(preset, **overrides)
-    if degrees is None:
-        degrees = default_degrees(base.n_repositories)
-    result = ExperimentResult(
-        name="Figure 3: need for limiting cooperation",
-        xlabel="degree of cooperation",
-        ylabel="loss of fidelity (%)",
-        xs=[float(d) for d in degrees],
+    return api.run_experiment(
+        SPEC.name,
+        preset=preset,
+        jobs=jobs,
+        cache=cache,
+        params=dict(t_values=t_values, degrees=degrees, policy=policy),
+        overrides=overrides,
     )
-    # One flat (T x degree) grid => one sweep call, so a parallel run
-    # fans out over every point of every curve at once.
-    configs = [
-        base.with_(t_percent=t, offered_degree=d, policy=policy,
-                   controlled_cooperation=False)
-        for t in t_values
-        for d in degrees
-    ]
-    losses, _ = sweep(configs, jobs=jobs)
-    for row, t in enumerate(t_values):
-        ys = losses[row * len(degrees):(row + 1) * len(degrees)]
-        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
-    return result
 
 
 def main(preset: str = "small", **overrides) -> str:
-    text = report(run(preset=preset, **overrides))
+    text = SPEC.render(run(preset=preset, **overrides))
     print(text)
     return text
 

@@ -10,13 +10,62 @@ of network speed.
 
 from __future__ import annotations
 
-from repro.experiments.figure3 import DEFAULT_T_VALUES
-from repro.experiments.runner import ExperimentResult, Series, preset_config, report, sweep
+from repro.experiments import api
+from repro.experiments.defaults import DEFAULT_COMM_DELAYS, DEFAULT_T_VALUES
+from repro.experiments.runner import ExperimentResult, Series, report
 
-__all__ = ["DEFAULT_COMM_DELAYS", "run", "main"]
+__all__ = ["DEFAULT_COMM_DELAYS", "SPEC", "run", "main"]
 
-#: The paper's x-axis: average node-to-node delay in milliseconds.
-DEFAULT_COMM_DELAYS: tuple[float, ...] = (0.0, 25.0, 50.0, 75.0, 100.0, 125.0)
+
+def _plan(ctx: api.ExperimentContext):
+    base = ctx.base_config()
+    return tuple(
+        base.with_(
+            t_percent=t,
+            offered_degree=base.n_repositories,
+            comm_target_ms=delay,
+            policy=ctx.params["policy"],
+            controlled_cooperation=False,
+        )
+        for t in ctx.params["t_values"]
+        for delay in ctx.params["comm_delays_ms"]
+    )
+
+
+def _collect(ctx: api.ExperimentContext, results) -> ExperimentResult:
+    t_values = ctx.params["t_values"]
+    comm_delays_ms = ctx.params["comm_delays_ms"]
+    result = ExperimentResult(
+        name="Figure 5: no cooperation, varying communication delays",
+        xlabel="mean comm delay (ms)",
+        ylabel="loss of fidelity (%)",
+        xs=list(comm_delays_ms),
+    )
+    losses = [r.loss_of_fidelity for r in results]
+    for row, t in enumerate(t_values):
+        ys = losses[row * len(comm_delays_ms):(row + 1) * len(comm_delays_ms)]
+        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
+    return result
+
+
+SPEC = api.register(api.ExperimentSpec(
+    name="figure5",
+    description=(
+        "Without cooperation, faster networks do not rescue fidelity: "
+        "the loss is computation-dominated at the source."
+    ),
+    params=(
+        api.ParamSpec("t_values", "floats", DEFAULT_T_VALUES,
+                      "coherency-stringency mixes (T%)"),
+        api.ParamSpec("comm_delays_ms", "floats", DEFAULT_COMM_DELAYS,
+                      "target mean repo-to-repo delays (ms)"),
+        api.ParamSpec("policy", "str", "centralized",
+                      "dissemination policy for the baseline"),
+    ),
+    plan=_plan,
+    collect=_collect,
+    render=report,
+))
 
 
 def run(
@@ -25,37 +74,24 @@ def run(
     comm_delays_ms: tuple[float, ...] = DEFAULT_COMM_DELAYS,
     policy: str = "centralized",
     jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
     **overrides,
 ) -> ExperimentResult:
     """Sweep (T, mean comm delay) with the source serving everyone."""
-    base = preset_config(preset, **overrides)
-    no_coop_degree = base.n_repositories
-    result = ExperimentResult(
-        name="Figure 5: no cooperation, varying communication delays",
-        xlabel="mean comm delay (ms)",
-        ylabel="loss of fidelity (%)",
-        xs=list(comm_delays_ms),
+    return api.run_experiment(
+        SPEC.name,
+        preset=preset,
+        jobs=jobs,
+        cache=cache,
+        params=dict(
+            t_values=t_values, comm_delays_ms=comm_delays_ms, policy=policy
+        ),
+        overrides=overrides,
     )
-    configs = [
-        base.with_(
-            t_percent=t,
-            offered_degree=no_coop_degree,
-            comm_target_ms=delay,
-            policy=policy,
-            controlled_cooperation=False,
-        )
-        for t in t_values
-        for delay in comm_delays_ms
-    ]
-    losses, _ = sweep(configs, jobs=jobs)
-    for row, t in enumerate(t_values):
-        ys = losses[row * len(comm_delays_ms):(row + 1) * len(comm_delays_ms)]
-        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
-    return result
 
 
 def main(preset: str = "small", **overrides) -> str:
-    text = report(run(preset=preset, **overrides))
+    text = SPEC.render(run(preset=preset, **overrides))
     print(text)
     return text
 

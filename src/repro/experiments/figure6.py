@@ -10,13 +10,62 @@ cooperation.
 
 from __future__ import annotations
 
-from repro.experiments.figure3 import DEFAULT_T_VALUES
-from repro.experiments.runner import ExperimentResult, Series, preset_config, report, sweep
+from repro.experiments import api
+from repro.experiments.defaults import DEFAULT_COMP_DELAYS, DEFAULT_T_VALUES
+from repro.experiments.runner import ExperimentResult, Series, report
 
-__all__ = ["DEFAULT_COMP_DELAYS", "run", "main"]
+__all__ = ["DEFAULT_COMP_DELAYS", "SPEC", "run", "main"]
 
-#: The paper's x-axis: per-dependent computational delay in milliseconds.
-DEFAULT_COMP_DELAYS: tuple[float, ...] = (0.0, 5.0, 10.0, 15.0, 20.0, 25.0)
+
+def _plan(ctx: api.ExperimentContext):
+    base = ctx.base_config()
+    return tuple(
+        base.with_(
+            t_percent=t,
+            offered_degree=base.n_repositories,
+            comp_delay_ms=delay,
+            policy=ctx.params["policy"],
+            controlled_cooperation=False,
+        )
+        for t in ctx.params["t_values"]
+        for delay in ctx.params["comp_delays_ms"]
+    )
+
+
+def _collect(ctx: api.ExperimentContext, results) -> ExperimentResult:
+    t_values = ctx.params["t_values"]
+    comp_delays_ms = ctx.params["comp_delays_ms"]
+    result = ExperimentResult(
+        name="Figure 6: no cooperation, varying computational delays",
+        xlabel="comp delay (ms)",
+        ylabel="loss of fidelity (%)",
+        xs=list(comp_delays_ms),
+    )
+    losses = [r.loss_of_fidelity for r in results]
+    for row, t in enumerate(t_values):
+        ys = losses[row * len(comp_delays_ms):(row + 1) * len(comp_delays_ms)]
+        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
+    return result
+
+
+SPEC = api.register(api.ExperimentSpec(
+    name="figure6",
+    description=(
+        "Without cooperation, loss of fidelity grows steeply with "
+        "computational delay: the source saturates."
+    ),
+    params=(
+        api.ParamSpec("t_values", "floats", DEFAULT_T_VALUES,
+                      "coherency-stringency mixes (T%)"),
+        api.ParamSpec("comp_delays_ms", "floats", DEFAULT_COMP_DELAYS,
+                      "per-dependent computational delays (ms)"),
+        api.ParamSpec("policy", "str", "centralized",
+                      "dissemination policy for the baseline"),
+    ),
+    plan=_plan,
+    collect=_collect,
+    render=report,
+))
 
 
 def run(
@@ -25,37 +74,24 @@ def run(
     comp_delays_ms: tuple[float, ...] = DEFAULT_COMP_DELAYS,
     policy: str = "centralized",
     jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
     **overrides,
 ) -> ExperimentResult:
     """Sweep (T, comp delay) with the source serving everyone."""
-    base = preset_config(preset, **overrides)
-    no_coop_degree = base.n_repositories
-    result = ExperimentResult(
-        name="Figure 6: no cooperation, varying computational delays",
-        xlabel="comp delay (ms)",
-        ylabel="loss of fidelity (%)",
-        xs=list(comp_delays_ms),
+    return api.run_experiment(
+        SPEC.name,
+        preset=preset,
+        jobs=jobs,
+        cache=cache,
+        params=dict(
+            t_values=t_values, comp_delays_ms=comp_delays_ms, policy=policy
+        ),
+        overrides=overrides,
     )
-    configs = [
-        base.with_(
-            t_percent=t,
-            offered_degree=no_coop_degree,
-            comp_delay_ms=delay,
-            policy=policy,
-            controlled_cooperation=False,
-        )
-        for t in t_values
-        for delay in comp_delays_ms
-    ]
-    losses, _ = sweep(configs, jobs=jobs)
-    for row, t in enumerate(t_values):
-        ys = losses[row * len(comp_delays_ms):(row + 1) * len(comp_delays_ms)]
-        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
-    return result
 
 
 def main(preset: str = "small", **overrides) -> str:
-    text = report(run(preset=preset, **overrides))
+    text = SPEC.render(run(preset=preset, **overrides))
     print(text)
     return text
 

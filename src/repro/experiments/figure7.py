@@ -11,16 +11,201 @@ Three panels:
 - (c) computational-delay sweep with controlled cooperation: Eq. (2)
   lowers the degree as computation gets pricier, again keeping loss low
   (contrast Figure 6).
+
+All three panels plan through one grid, so the registry runner fans the
+whole figure out (and caches it) as a single sweep.
 """
 
 from __future__ import annotations
 
-from repro.experiments.figure3 import DEFAULT_T_VALUES, default_degrees
-from repro.experiments.figure5 import DEFAULT_COMM_DELAYS
-from repro.experiments.figure6 import DEFAULT_COMP_DELAYS
-from repro.experiments.runner import ExperimentResult, Series, preset_config, report, sweep
+from repro.experiments import api
+from repro.experiments.defaults import (
+    DEFAULT_COMM_DELAYS,
+    DEFAULT_COMP_DELAYS,
+    DEFAULT_T_VALUES,
+    default_degrees,
+)
+from repro.experiments.runner import ExperimentResult, Series, report
 
-__all__ = ["run_base_case", "run_comm_sweep", "run_comp_sweep", "run", "main"]
+__all__ = ["SPEC", "run_base_case", "run_comm_sweep", "run_comp_sweep", "run", "main"]
+
+
+def _degrees(ctx: api.ExperimentContext, base) -> tuple[int, ...]:
+    degrees = ctx.params["degrees"]
+    if degrees is None:
+        degrees = tuple(default_degrees(base.n_repositories))
+    return degrees
+
+
+def _plan_base_case(ctx: api.ExperimentContext):
+    base = ctx.base_config()
+    return tuple(
+        base.with_(t_percent=t, offered_degree=d, policy=ctx.params["policy"],
+                   controlled_cooperation=True)
+        for t in ctx.params["t_values"]
+        for d in _degrees(ctx, base)
+    )
+
+
+def _collect_base_case(ctx: api.ExperimentContext, results) -> ExperimentResult:
+    base = ctx.base_config()
+    degrees = _degrees(ctx, base)
+    t_values = ctx.params["t_values"]
+    result = ExperimentResult(
+        name="Figure 7(a): controlled cooperation, base case",
+        xlabel="offered degree of cooperation",
+        ylabel="loss of fidelity (%)",
+        xs=[float(d) for d in degrees],
+    )
+    losses = [r.loss_of_fidelity for r in results]
+    for row, t in enumerate(t_values):
+        ys = losses[row * len(degrees):(row + 1) * len(degrees)]
+        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
+    result.notes["coopDegree (Eq. 2 clamp at max offered)"] = (
+        results[-1].effective_degree if results else None
+    )
+    return result
+
+
+def _plan_comm_sweep(ctx: api.ExperimentContext):
+    base = ctx.base_config()
+    return tuple(
+        base.with_(
+            t_percent=t,
+            offered_degree=base.n_repositories,
+            comm_target_ms=delay,
+            policy=ctx.params["policy"],
+            controlled_cooperation=True,
+        )
+        for t in ctx.params["t_values"]
+        for delay in ctx.params["comm_delays_ms"]
+    )
+
+
+def _collect_comm_sweep(ctx: api.ExperimentContext, results) -> ExperimentResult:
+    t_values = ctx.params["t_values"]
+    comm_delays_ms = ctx.params["comm_delays_ms"]
+    result = ExperimentResult(
+        name="Figure 7(b): controlled cooperation, varying communication delays",
+        xlabel="mean comm delay (ms)",
+        ylabel="loss of fidelity (%)",
+        xs=list(comm_delays_ms),
+    )
+    losses = [r.loss_of_fidelity for r in results]
+    for row, t in enumerate(t_values):
+        ys = losses[row * len(comm_delays_ms):(row + 1) * len(comm_delays_ms)]
+        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
+    result.notes["Eq. (2) degrees along the sweep"] = [
+        r.effective_degree for r in results[-len(comm_delays_ms):]
+    ]
+    return result
+
+
+def _plan_comp_sweep(ctx: api.ExperimentContext):
+    base = ctx.base_config()
+    return tuple(
+        base.with_(
+            t_percent=t,
+            offered_degree=base.n_repositories,
+            comp_delay_ms=delay,
+            policy=ctx.params["policy"],
+            controlled_cooperation=True,
+        )
+        for t in ctx.params["t_values"]
+        for delay in ctx.params["comp_delays_ms"]
+    )
+
+
+def _collect_comp_sweep(ctx: api.ExperimentContext, results) -> ExperimentResult:
+    t_values = ctx.params["t_values"]
+    comp_delays_ms = ctx.params["comp_delays_ms"]
+    result = ExperimentResult(
+        name="Figure 7(c): controlled cooperation, varying computational delays",
+        xlabel="comp delay (ms)",
+        ylabel="loss of fidelity (%)",
+        xs=list(comp_delays_ms),
+    )
+    losses = [r.loss_of_fidelity for r in results]
+    for row, t in enumerate(t_values):
+        ys = losses[row * len(comp_delays_ms):(row + 1) * len(comp_delays_ms)]
+        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
+    result.notes["Eq. (2) degrees along the sweep"] = [
+        r.effective_degree for r in results[-len(comp_delays_ms):]
+    ]
+    return result
+
+
+_PANELS = (
+    (_plan_base_case, _collect_base_case),
+    (_plan_comm_sweep, _collect_comm_sweep),
+    (_plan_comp_sweep, _collect_comp_sweep),
+)
+
+
+def _plan(ctx: api.ExperimentContext):
+    return tuple(
+        config for plan_panel, _collect in _PANELS for config in plan_panel(ctx)
+    )
+
+
+def _collect(ctx: api.ExperimentContext, results) -> list[ExperimentResult]:
+    panels: list[ExperimentResult] = []
+    offset = 0
+    for plan_panel, collect_panel in _PANELS:
+        n = len(plan_panel(ctx))
+        panels.append(collect_panel(ctx, results[offset:offset + n]))
+        offset += n
+    return panels
+
+
+def _render(panels: list[ExperimentResult]) -> str:
+    return "\n\n".join(report(panel) for panel in panels)
+
+
+_PARAMS = (
+    api.ParamSpec("t_values", "floats", DEFAULT_T_VALUES,
+                  "coherency-stringency mixes (T%)"),
+    api.ParamSpec("degrees", "ints", None,
+                  "panel (a) degree sweep (default: derived from preset)"),
+    api.ParamSpec("comm_delays_ms", "floats", DEFAULT_COMM_DELAYS,
+                  "panel (b) target mean repo-to-repo delays (ms)"),
+    api.ParamSpec("comp_delays_ms", "floats", DEFAULT_COMP_DELAYS,
+                  "panel (c) per-dependent computational delays (ms)"),
+    api.ParamSpec("policy", "str", "centralized",
+                  "dissemination policy under Eq. (2) control"),
+)
+
+SPEC = api.register(api.ExperimentSpec(
+    name="figure7",
+    description=(
+        "Controlled cooperation (Eq. 2) turns the U-curve into an L and "
+        "keeps loss low across communication and computational delays."
+    ),
+    params=_PARAMS,
+    plan=_plan,
+    collect=_collect,
+    render=_render,
+))
+
+
+def _run_panel(
+    panel: int,
+    preset: str,
+    jobs: int | None,
+    cache: api.ResultCache | None,
+    params: dict,
+    overrides: dict,
+) -> ExperimentResult:
+    ctx = api.ExperimentContext(
+        preset=preset,
+        params=SPEC.resolve_params(params),
+        jobs=jobs,
+        cache=cache,
+        overrides=overrides,
+    )
+    plan_panel, collect_panel = _PANELS[panel]
+    results = api.execute_plan(plan_panel(ctx), jobs=jobs, cache=cache)
+    return collect_panel(ctx, tuple(results))
 
 
 def run_base_case(
@@ -29,32 +214,14 @@ def run_base_case(
     degrees: list[int] | None = None,
     policy: str = "centralized",
     jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
     **overrides,
 ) -> ExperimentResult:
     """Panel (a): offered-resources sweep under Eq. (2) clamping."""
-    base = preset_config(preset, **overrides)
-    if degrees is None:
-        degrees = default_degrees(base.n_repositories)
-    result = ExperimentResult(
-        name="Figure 7(a): controlled cooperation, base case",
-        xlabel="offered degree of cooperation",
-        ylabel="loss of fidelity (%)",
-        xs=[float(d) for d in degrees],
+    return _run_panel(
+        0, preset, jobs, cache,
+        dict(t_values=t_values, degrees=degrees, policy=policy), overrides,
     )
-    configs = [
-        base.with_(t_percent=t, offered_degree=d, policy=policy,
-                   controlled_cooperation=True)
-        for t in t_values
-        for d in degrees
-    ]
-    losses, runs = sweep(configs, jobs=jobs)
-    for row, t in enumerate(t_values):
-        ys = losses[row * len(degrees):(row + 1) * len(degrees)]
-        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
-    result.notes["coopDegree (Eq. 2 clamp at max offered)"] = (
-        runs[-1].effective_degree if runs else None
-    )
-    return result
 
 
 def run_comm_sweep(
@@ -63,35 +230,15 @@ def run_comm_sweep(
     comm_delays_ms: tuple[float, ...] = DEFAULT_COMM_DELAYS,
     policy: str = "centralized",
     jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
     **overrides,
 ) -> ExperimentResult:
     """Panel (b): comm-delay sweep, degree adapted by Eq. (2)."""
-    base = preset_config(preset, **overrides)
-    result = ExperimentResult(
-        name="Figure 7(b): controlled cooperation, varying communication delays",
-        xlabel="mean comm delay (ms)",
-        ylabel="loss of fidelity (%)",
-        xs=list(comm_delays_ms),
+    return _run_panel(
+        1, preset, jobs, cache,
+        dict(t_values=t_values, comm_delays_ms=comm_delays_ms, policy=policy),
+        overrides,
     )
-    configs = [
-        base.with_(
-            t_percent=t,
-            offered_degree=base.n_repositories,
-            comm_target_ms=delay,
-            policy=policy,
-            controlled_cooperation=True,
-        )
-        for t in t_values
-        for delay in comm_delays_ms
-    ]
-    losses, runs = sweep(configs, jobs=jobs)
-    for row, t in enumerate(t_values):
-        ys = losses[row * len(comm_delays_ms):(row + 1) * len(comm_delays_ms)]
-        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
-    result.notes["Eq. (2) degrees along the sweep"] = [
-        r.effective_degree for r in runs[-len(comm_delays_ms):]
-    ]
-    return result
 
 
 def run_comp_sweep(
@@ -100,49 +247,35 @@ def run_comp_sweep(
     comp_delays_ms: tuple[float, ...] = DEFAULT_COMP_DELAYS,
     policy: str = "centralized",
     jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
     **overrides,
 ) -> ExperimentResult:
     """Panel (c): comp-delay sweep, degree adapted by Eq. (2)."""
-    base = preset_config(preset, **overrides)
-    result = ExperimentResult(
-        name="Figure 7(c): controlled cooperation, varying computational delays",
-        xlabel="comp delay (ms)",
-        ylabel="loss of fidelity (%)",
-        xs=list(comp_delays_ms),
+    return _run_panel(
+        2, preset, jobs, cache,
+        dict(t_values=t_values, comp_delays_ms=comp_delays_ms, policy=policy),
+        overrides,
     )
-    configs = [
-        base.with_(
-            t_percent=t,
-            offered_degree=base.n_repositories,
-            comp_delay_ms=delay,
-            policy=policy,
-            controlled_cooperation=True,
-        )
-        for t in t_values
-        for delay in comp_delays_ms
-    ]
-    losses, runs = sweep(configs, jobs=jobs)
-    for row, t in enumerate(t_values):
-        ys = losses[row * len(comp_delays_ms):(row + 1) * len(comp_delays_ms)]
-        result.series.append(Series(label=f"T={t:.0f}", ys=ys))
-    result.notes["Eq. (2) degrees along the sweep"] = [
-        r.effective_degree for r in runs[-len(comp_delays_ms):]
-    ]
-    return result
 
 
-def run(preset: str = "small", **overrides) -> list[ExperimentResult]:
-    """All three panels."""
-    return [
-        run_base_case(preset=preset, **overrides),
-        run_comm_sweep(preset=preset, **overrides),
-        run_comp_sweep(preset=preset, **overrides),
-    ]
+def run(
+    preset: str = "small",
+    jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
+    **overrides,
+) -> list[ExperimentResult]:
+    """All three panels through one planned grid."""
+    params = {
+        p.name: overrides.pop(p.name) for p in _PARAMS if p.name in overrides
+    }
+    return api.run_experiment(
+        SPEC.name, preset=preset, jobs=jobs, cache=cache,
+        params=params, overrides=overrides,
+    )
 
 
 def main(preset: str = "small", **overrides) -> str:
-    texts = [report(r) for r in run(preset=preset, **overrides)]
-    text = "\n\n".join(texts)
+    text = _render(run(preset=preset, **overrides))
     print(text)
     return text
 

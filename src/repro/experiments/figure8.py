@@ -15,37 +15,44 @@ the filtered system stays flat near zero.
 
 from __future__ import annotations
 
-from repro.experiments.figure3 import default_degrees
-from repro.experiments.runner import ExperimentResult, Series, preset_config, report, sweep
+from repro.experiments import api
+from repro.experiments.defaults import default_degrees
+from repro.experiments.runner import ExperimentResult, Series, report
 
-__all__ = ["run", "main"]
+__all__ = ["SPEC", "run", "main"]
+
+_POLICIES = ("flooding", "distributed")
 
 
-def run(
-    preset: str = "small",
-    degrees: list[int] | None = None,
-    jobs: int | None = 1,
-    **overrides,
-) -> ExperimentResult:
-    """Sweep degree for the flooding and filtered systems."""
-    base = preset_config(preset, **overrides)
+def _grid(ctx: api.ExperimentContext):
+    base = ctx.base_config()
+    degrees = ctx.params["degrees"]
     if degrees is None:
-        degrees = default_degrees(base.n_repositories)
+        degrees = tuple(default_degrees(base.n_repositories))
+    return base, degrees
+
+
+def _plan(ctx: api.ExperimentContext):
+    base, degrees = _grid(ctx)
+    return tuple(
+        base.with_(t_percent=0.0, offered_degree=d, policy=policy,
+                   controlled_cooperation=False)
+        for policy in _POLICIES
+        for d in degrees
+    )
+
+
+def _collect(ctx: api.ExperimentContext, results) -> ExperimentResult:
+    _base, degrees = _grid(ctx)
     result = ExperimentResult(
         name="Figure 8: importance of filtering during update propagation",
         xlabel="degree of cooperation",
         ylabel="loss of fidelity (%)",
         xs=[float(d) for d in degrees],
     )
-    configs = [
-        base.with_(t_percent=0.0, offered_degree=d, policy=policy,
-                   controlled_cooperation=False)
-        for policy in ("flooding", "distributed")
-        for d in degrees
-    ]
-    losses, runs = sweep(configs, jobs=jobs)
+    losses = [r.loss_of_fidelity for r in results]
     flood_losses, filtered_losses = losses[:len(degrees)], losses[len(degrees):]
-    flood_runs, filtered_runs = runs[:len(degrees)], runs[len(degrees):]
+    flood_runs, filtered_runs = results[:len(degrees)], results[len(degrees):]
     result.series.append(Series(label="All updates", ys=flood_losses))
     result.series.append(Series(label="Filtered", ys=filtered_losses))
 
@@ -54,8 +61,42 @@ def run(
     return result
 
 
+SPEC = api.register(api.ExperimentSpec(
+    name="figure8",
+    description=(
+        "Coherency-aware filtering scales across the cooperation sweep; "
+        "flooding every update does not."
+    ),
+    params=(
+        api.ParamSpec("degrees", "ints", None,
+                      "degree sweep (default: derived from the preset)"),
+    ),
+    plan=_plan,
+    collect=_collect,
+    render=report,
+))
+
+
+def run(
+    preset: str = "small",
+    degrees: list[int] | None = None,
+    jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
+    **overrides,
+) -> ExperimentResult:
+    """Sweep degree for the flooding and filtered systems."""
+    return api.run_experiment(
+        SPEC.name,
+        preset=preset,
+        jobs=jobs,
+        cache=cache,
+        params=dict(degrees=degrees),
+        overrides=overrides,
+    )
+
+
 def main(preset: str = "small", **overrides) -> str:
-    text = report(run(preset=preset, **overrides))
+    text = SPEC.render(run(preset=preset, **overrides))
     print(text)
     return text
 

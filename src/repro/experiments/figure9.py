@@ -13,13 +13,75 @@ unlimited cooperation (plain curves) and with controlled cooperation
 
 from __future__ import annotations
 
-from repro.experiments.figure3 import default_degrees
-from repro.experiments.runner import ExperimentResult, Series, preset_config, report, sweep
+from repro.experiments import api
+from repro.experiments.defaults import DEFAULT_P_VALUES, default_degrees
+from repro.experiments.runner import ExperimentResult, Series, report
 
-__all__ = ["DEFAULT_P_VALUES", "run", "main"]
+__all__ = ["DEFAULT_P_VALUES", "SPEC", "run", "main"]
 
-#: The paper's P% values.
-DEFAULT_P_VALUES: tuple[float, ...] = (1.0, 5.0, 10.0, 25.0)
+
+def _grid(ctx: api.ExperimentContext):
+    base = ctx.base_config().with_(t_percent=ctx.params["t_percent"])
+    degrees = ctx.params["degrees"]
+    if degrees is None:
+        degrees = tuple(default_degrees(base.n_repositories))
+    rows = [
+        (controlled, suffix, p)
+        for controlled, suffix in ((False, ""), (True, "W"))
+        for p in ctx.params["p_values"]
+    ]
+    return base, degrees, rows
+
+
+def _plan(ctx: api.ExperimentContext):
+    base, degrees, rows = _grid(ctx)
+    return tuple(
+        base.with_(
+            p_percent=p,
+            offered_degree=d,
+            policy=ctx.params["policy"],
+            controlled_cooperation=controlled,
+        )
+        for controlled, _suffix, p in rows
+        for d in degrees
+    )
+
+
+def _collect(ctx: api.ExperimentContext, results) -> ExperimentResult:
+    _base, degrees, rows = _grid(ctx)
+    result = ExperimentResult(
+        name="Figure 9: effect of different P% values",
+        xlabel="degree of cooperation",
+        ylabel="loss of fidelity (%)",
+        xs=[float(d) for d in degrees],
+    )
+    losses = [r.loss_of_fidelity for r in results]
+    for row, (_controlled, suffix, p) in enumerate(rows):
+        ys = losses[row * len(degrees):(row + 1) * len(degrees)]
+        result.series.append(Series(label=f"P={p:.0f}{suffix}", ys=ys))
+    return result
+
+
+SPEC = api.register(api.ExperimentSpec(
+    name="figure9",
+    description=(
+        "LeLA's P% admission band is secondary once the degree of "
+        "cooperation is controlled."
+    ),
+    params=(
+        api.ParamSpec("p_values", "floats", DEFAULT_P_VALUES,
+                      "admission-band percentages to sweep"),
+        api.ParamSpec("degrees", "ints", None,
+                      "degree sweep (default: derived from the preset)"),
+        api.ParamSpec("t_percent", "float", 80.0,
+                      "coherency-stringency mix (T%)"),
+        api.ParamSpec("policy", "str", "centralized",
+                      "dissemination policy"),
+    ),
+    plan=_plan,
+    collect=_collect,
+    render=report,
+))
 
 
 def run(
@@ -29,42 +91,25 @@ def run(
     t_percent: float = 80.0,
     policy: str = "centralized",
     jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
     **overrides,
 ) -> ExperimentResult:
     """Sweep (P%, degree), with and without controlled cooperation."""
-    base = preset_config(preset, t_percent=t_percent, **overrides)
-    if degrees is None:
-        degrees = default_degrees(base.n_repositories)
-    result = ExperimentResult(
-        name="Figure 9: effect of different P% values",
-        xlabel="degree of cooperation",
-        ylabel="loss of fidelity (%)",
-        xs=[float(d) for d in degrees],
-    )
-    rows = [
-        (controlled, suffix, p)
-        for controlled, suffix in ((False, ""), (True, "W"))
-        for p in p_values
-    ]
-    configs = [
-        base.with_(
-            p_percent=p,
-            offered_degree=d,
+    return api.run_experiment(
+        SPEC.name,
+        preset=preset,
+        jobs=jobs,
+        cache=cache,
+        params=dict(
+            p_values=p_values, degrees=degrees, t_percent=t_percent,
             policy=policy,
-            controlled_cooperation=controlled,
-        )
-        for controlled, _suffix, p in rows
-        for d in degrees
-    ]
-    losses, _ = sweep(configs, jobs=jobs)
-    for row, (_controlled, suffix, p) in enumerate(rows):
-        ys = losses[row * len(degrees):(row + 1) * len(degrees)]
-        result.series.append(Series(label=f"P={p:.0f}{suffix}", ys=ys))
-    return result
+        ),
+        overrides=overrides,
+    )
 
 
 def main(preset: str = "small", **overrides) -> str:
-    text = report(run(preset=preset, **overrides))
+    text = SPEC.render(run(preset=preset, **overrides))
     print(text)
     return text
 

@@ -12,66 +12,75 @@ Expected outcome: short fixed TTRs approach push fidelity but flood the
 source with poll traffic; long TTRs are cheap but stale; adaptive TTR
 sits between; cooperative push dominates the fidelity-per-message
 trade-off because repositories share the dissemination work.
+
+The push run rides the shared config-sweep plane; the pull variants are
+their own deterministic points -- ``(config, TTR policy)`` fully
+determines each -- so they fan out over ``jobs`` workers and are cached
+content-addressed exactly like sweep points.
 """
 
 from __future__ import annotations
 
-from repro.engine.builder import build_setup
+from repro.engine.config import SimulationConfig
 from repro.engine.pull import TtrConfig, run_pull_simulation
-from repro.engine.simulation import run_simulation
-from repro.experiments.runner import ExperimentResult, Series, format_result, preset_config
+from repro.experiments import api
+from repro.experiments.defaults import DEFAULT_TTRS
+from repro.experiments.runner import ExperimentResult, Series
 
-__all__ = ["DEFAULT_TTRS", "run", "main"]
-
-#: Fixed TTRs to sweep, in seconds.
-DEFAULT_TTRS: tuple[float, ...] = (2.0, 10.0, 30.0)
+__all__ = ["DEFAULT_TTRS", "SPEC", "run", "main"]
 
 
-def run(
-    preset: str = "small",
-    t_percent: float = 80.0,
-    ttrs_s: tuple[float, ...] = DEFAULT_TTRS,
-    **overrides,
-) -> ExperimentResult:
-    """Run push and the pull family over one shared setup."""
-    config = preset_config(
-        preset,
-        t_percent=t_percent,
+def _run_pull_point(point: tuple[SimulationConfig, TtrConfig]):
+    """Worker entry: one pull simulation, deterministic in its inputs."""
+    config, ttr = point
+    return run_pull_simulation(api.shared_setup(config), ttr)
+
+
+def _variants(ctx: api.ExperimentContext) -> list[tuple[str, TtrConfig]]:
+    variants = [
+        (f"pull ttr={ttr:g}s", TtrConfig(mode="fixed", ttr_s=ttr))
+        for ttr in ctx.params["ttrs_s"]
+    ]
+    variants.append(
+        ("pull adaptive",
+         TtrConfig(mode="adaptive", ttr_s=10.0, ttr_min_s=1.0, ttr_max_s=60.0))
+    )
+    return variants
+
+
+def _config(ctx: api.ExperimentContext) -> SimulationConfig:
+    return ctx.base_config().with_(
+        t_percent=ctx.params["t_percent"],
         policy="distributed",
         controlled_cooperation=True,
-        **overrides,
     )
-    setup = build_setup(config)
 
-    labels: list[str] = []
-    losses: list[float] = []
-    messages: list[float] = []
 
-    push = run_simulation(config, setup=setup)
-    labels.append("push (coop)")
-    losses.append(push.loss_of_fidelity)
-    messages.append(float(push.messages))
+def _plan(ctx: api.ExperimentContext):
+    return (_config(ctx),)
 
-    for ttr in ttrs_s:
-        result = run_pull_simulation(setup, TtrConfig(mode="fixed", ttr_s=ttr))
-        labels.append(f"pull ttr={ttr:g}s")
+
+def _collect(ctx: api.ExperimentContext, results) -> ExperimentResult:
+    config = _config(ctx)
+    push = results[0]
+
+    labels: list[str] = ["push (coop)"]
+    losses: list[float] = [push.loss_of_fidelity]
+    messages: list[float] = [float(push.messages)]
+
+    variants = _variants(ctx)
+    pulls = api.cached_parallel_map(
+        ctx,
+        keys=[("pull", config, ttr) for _label, ttr in variants],
+        points=[(config, ttr) for _label, ttr in variants],
+        worker=_run_pull_point,
+    )
+    for (label, _ttr), result in zip(variants, pulls):
+        labels.append(label)
         losses.append(result.loss_of_fidelity)
         messages.append(float(result.messages))
 
-    adaptive = run_pull_simulation(
-        setup,
-        TtrConfig(
-            mode="adaptive",
-            ttr_s=10.0,
-            ttr_min_s=1.0,
-            ttr_max_s=60.0,
-        ),
-    )
-    labels.append("pull adaptive")
-    losses.append(adaptive.loss_of_fidelity)
-    messages.append(float(adaptive.messages))
-
-    result = ExperimentResult(
+    return ExperimentResult(
         name="Extension: push vs. pull (fixed / adaptive TTR)",
         xlabel="system",
         ylabel="loss of fidelity (%) / messages",
@@ -82,11 +91,9 @@ def run(
         ],
         notes={"systems": labels},
     )
-    return result
 
 
-def main(preset: str = "small", **overrides) -> str:
-    result = run(preset=preset, **overrides)
+def _render(result: ExperimentResult) -> str:
     lines = [f"== {result.name} ==",
              f"{'system':<16} {'loss %':>8} {'messages':>10}"]
     lines.append("-" * 38)
@@ -94,7 +101,48 @@ def main(preset: str = "small", **overrides) -> str:
         loss = result.series_by_label("loss %").ys[i]
         msgs = result.series_by_label("messages").ys[i]
         lines.append(f"{label:<16} {loss:>8.2f} {msgs:>10.0f}")
-    text = "\n".join(lines)
+    return "\n".join(lines)
+
+
+SPEC = api.register(api.ExperimentSpec(
+    name="pull_baseline",
+    description=(
+        "Cooperative push dominates the fidelity-per-message trade-off "
+        "against fixed- and adaptive-TTR pull baselines."
+    ),
+    params=(
+        api.ParamSpec("t_percent", "float", 80.0,
+                      "coherency-stringency mix (T%)"),
+        api.ParamSpec("ttrs_s", "floats", DEFAULT_TTRS,
+                      "fixed TTRs to sweep (seconds)"),
+    ),
+    plan=_plan,
+    collect=_collect,
+    render=_render,
+))
+
+
+def run(
+    preset: str = "small",
+    t_percent: float = 80.0,
+    ttrs_s: tuple[float, ...] = DEFAULT_TTRS,
+    jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
+    **overrides,
+) -> ExperimentResult:
+    """Run push and the pull family over one shared workload."""
+    return api.run_experiment(
+        SPEC.name,
+        preset=preset,
+        jobs=jobs,
+        cache=cache,
+        params=dict(t_percent=t_percent, ttrs_s=ttrs_s),
+        overrides=overrides,
+    )
+
+
+def main(preset: str = "small", **overrides) -> str:
+    text = _render(run(preset=preset, **overrides))
     print(text)
     return text
 

@@ -4,58 +4,45 @@ Usage::
 
     python -m repro.experiments.run_all --preset small
     python -m repro.experiments.run_all --preset tiny --only figure3 figure11
+
+All requested experiments are planned up front and executed through the
+registry's shared plane (:mod:`repro.experiments.api`): the union of
+their config grids goes through **one** deduplicated sweep fan-out, and
+a content-addressed result cache means a warm rerun performs zero new
+simulations.  Per-experiment JSON artifacts are persisted next to the
+cache (disable with ``--no-cache``, redirect with ``--artifacts``).
 """
 
 from __future__ import annotations
 
 import argparse
 import time
+from pathlib import Path
 
 from repro.__main__ import _job_count
-from repro.experiments import (
-    churn_resilience,
-    figure3,
-    figure5,
-    figure6,
-    figure7,
-    figure8,
-    figure9,
-    figure10,
-    figure11,
-    hybrid_tradeoff,
-    pull_baseline,
-    scalability,
-    sensitivity,
-    table1,
-    workload_sensitivity,
-)
+from repro.experiments import api
+from repro.experiments.cache import ResultCache, default_cache_root
 
 __all__ = ["EXPERIMENTS", "build_parser", "main"]
 
-#: Experiment drivers.  Each takes ``(preset, jobs)``; the ones whose
-#: workload is not a :class:`SimulationConfig` sweep (table1's trace
-#: statistics, the pull/hybrid extensions with their own drivers) run
-#: serially and ignore ``jobs``.
+
+def _run_one(name: str):
+    def runner(preset: str, jobs: int | None):
+        spec = api.get_experiment(name)
+        text = spec.render(
+            api.run_experiment(name, preset=preset, jobs=jobs)
+        )
+        print(text)
+        return text
+
+    return runner
+
+
+#: Backwards-compatible driver map: every registered experiment behind
+#: one ``(preset, jobs)`` signature (the registry is the source of
+#: truth; prefer ``python -m repro experiments run``).
 EXPERIMENTS = {
-    "table1": lambda preset, jobs: table1.main(),
-    "figure3": lambda preset, jobs: figure3.main(preset=preset, jobs=jobs),
-    "figure5": lambda preset, jobs: figure5.main(preset=preset, jobs=jobs),
-    "figure6": lambda preset, jobs: figure6.main(preset=preset, jobs=jobs),
-    "figure7": lambda preset, jobs: figure7.main(preset=preset, jobs=jobs),
-    "figure8": lambda preset, jobs: figure8.main(preset=preset, jobs=jobs),
-    "figure9": lambda preset, jobs: figure9.main(preset=preset, jobs=jobs),
-    "figure10": lambda preset, jobs: figure10.main(preset=preset, jobs=jobs),
-    "figure11": lambda preset, jobs: figure11.main(preset=preset, jobs=jobs),
-    "scalability": lambda preset, jobs: scalability.main(preset=preset, jobs=jobs),
-    "sensitivity": lambda preset, jobs: sensitivity.main(preset=preset, jobs=jobs),
-    "pull_baseline": lambda preset, jobs: pull_baseline.main(preset=preset),
-    "hybrid_tradeoff": lambda preset, jobs: hybrid_tradeoff.main(preset=preset),
-    "churn_resilience": lambda preset, jobs: churn_resilience.main(
-        preset=preset, jobs=jobs
-    ),
-    "workload_sensitivity": lambda preset, jobs: workload_sensitivity.main(
-        preset=preset, jobs=jobs
-    ),
+    name: _run_one(name) for name in api.available_experiments()
 }
 
 
@@ -76,6 +63,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=f"subset of experiments to run (choices: {sorted(EXPERIMENTS)})",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the content-addressed result cache and recompute "
+        "every sweep point",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-cache location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="directory for per-experiment JSON artifacts (default: "
+        "<cache-dir>/artifacts/<preset>; only written when caching is on "
+        "or a directory is given explicitly)",
+    )
     return parser
 
 
@@ -88,11 +96,35 @@ def main(argv: list[str] | None = None) -> None:
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
 
+    cache: ResultCache | None = None
+    if not args.no_cache:
+        cache = ResultCache(Path(args.cache_dir or default_cache_root()))
+    artifacts_dir = args.artifacts
+    if artifacts_dir is None and cache is not None:
+        artifacts_dir = cache.root / "artifacts" / args.preset
+
+    start = time.time()
+    report = api.run_experiments(
+        names,
+        preset=args.preset,
+        jobs=args.jobs,
+        cache=cache,
+        artifacts_dir=artifacts_dir,
+        progress=print,
+    )
     for name in names:
-        start = time.time()
         print(f"\n{'=' * 72}\nRunning {name} (preset={args.preset})\n{'=' * 72}")
-        EXPERIMENTS[name](args.preset, args.jobs)
-        print(f"[{name} done in {time.time() - start:.1f}s]")
+        print(report.texts[name])
+        print(f"[{name} done in {report.seconds[name]:.1f}s]")
+
+    stats = report.stats
+    print(
+        f"\n[all done in {time.time() - start:.1f}s: "
+        f"{stats.planned} planned points, {stats.distinct} distinct, "
+        f"{stats.total_cached} cached, {stats.total_simulated} simulated]"
+    )
+    if report.artifacts:
+        print(f"[artifacts: {artifacts_dir}]")
 
 
 if __name__ == "__main__":

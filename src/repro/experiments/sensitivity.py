@@ -6,36 +6,36 @@
 2. **Missed-update guard ablation**: the distributed policy with and
    without Eq. (7), quantifying what the guard buys end to end (the
    paper argues its necessity analytically via Figure 4).
+
+Both ablations plan through one grid, so the registry runner executes
+(and caches) them as a single sweep.
 """
 
 from __future__ import annotations
 
-from repro.experiments.runner import ExperimentResult, Series, preset_config, report, sweep
+from repro.experiments import api
+from repro.experiments.defaults import DEFAULT_F_VALUES
+from repro.experiments.runner import ExperimentResult, Series, report
 
-__all__ = ["DEFAULT_F_VALUES", "run_f_sensitivity", "run_eq7_ablation", "main"]
-
-#: Sweep around the paper's footnote values (f=50, f=100).
-DEFAULT_F_VALUES: tuple[float, ...] = (10.0, 25.0, 50.0, 75.0, 100.0, 200.0)
+__all__ = ["DEFAULT_F_VALUES", "SPEC", "run_f_sensitivity", "run_eq7_ablation", "main"]
 
 
-def run_f_sensitivity(
-    preset: str = "small",
-    f_values: tuple[float, ...] = DEFAULT_F_VALUES,
-    t_percent: float = 80.0,
-    jobs: int | None = 1,
-    **overrides,
-) -> ExperimentResult:
-    """Loss of fidelity vs. Eq. (2)'s f under controlled cooperation."""
-    base = preset_config(preset, t_percent=t_percent, **overrides)
-    configs = [
+def _plan_f(ctx: api.ExperimentContext):
+    base = ctx.base_config().with_(t_percent=ctx.params["t_percent"])
+    return tuple(
         base.with_(
             interest_fraction_f=f,
             offered_degree=base.n_repositories,
             controlled_cooperation=True,
         )
-        for f in f_values
-    ]
-    losses, runs = sweep(configs, jobs=jobs)
+        for f in ctx.params["f_values"]
+    )
+
+
+def _collect_f(ctx: api.ExperimentContext, results) -> ExperimentResult:
+    f_values = ctx.params["f_values"]
+    t_percent = ctx.params["t_percent"]
+    losses = [r.loss_of_fidelity for r in results]
     result = ExperimentResult(
         name="Ablation: sensitivity to Eq. (2)'s interest fraction f",
         xlabel="f",
@@ -44,7 +44,8 @@ def run_f_sensitivity(
     )
     result.series.append(Series(label=f"T={t_percent:.0f}", ys=losses))
     result.series.append(
-        Series(label="Eq.(2) degree", ys=[float(r.effective_degree) for r in runs])
+        Series(label="Eq.(2) degree",
+               ys=[float(r.effective_degree) for r in results])
     )
     losses_f50_up = [l for f, l in zip(f_values, losses) if f >= 50.0]
     if losses_f50_up:
@@ -54,18 +55,16 @@ def run_f_sensitivity(
     return result
 
 
-def run_eq7_ablation(
-    preset: str = "small",
-    t_percent: float = 80.0,
-    jobs: int | None = 1,
-    **overrides,
-) -> ExperimentResult:
-    """Distributed policy with vs. without the Eq. (7) guard."""
-    base = preset_config(
-        preset, t_percent=t_percent, controlled_cooperation=True, **overrides
+def _plan_eq7(ctx: api.ExperimentContext):
+    base = ctx.base_config().with_(
+        t_percent=ctx.params["t_percent"], controlled_cooperation=True
     )
-    configs = [base.with_(policy="distributed"), base.with_(policy="eq3_only")]
-    losses, runs = sweep(configs, jobs=jobs)
+    return (base.with_(policy="distributed"), base.with_(policy="eq3_only"))
+
+
+def _collect_eq7(ctx: api.ExperimentContext, results) -> ExperimentResult:
+    t_percent = ctx.params["t_percent"]
+    losses = [r.loss_of_fidelity for r in results]
     result = ExperimentResult(
         name="Ablation: the Eq. (7) missed-update guard",
         xlabel="policy (0=distributed, 1=eq3_only)",
@@ -73,9 +72,82 @@ def run_eq7_ablation(
         xs=[0.0, 1.0],
     )
     result.series.append(Series(label=f"T={t_percent:.0f}", ys=losses))
-    result.notes["messages distributed"] = runs[0].messages
-    result.notes["messages eq3_only"] = runs[1].messages
+    result.notes["messages distributed"] = results[0].messages
+    result.notes["messages eq3_only"] = results[1].messages
     return result
+
+
+def _plan(ctx: api.ExperimentContext):
+    return _plan_f(ctx) + _plan_eq7(ctx)
+
+
+def _collect(ctx: api.ExperimentContext, results) -> list[ExperimentResult]:
+    n_f = len(_plan_f(ctx))
+    return [
+        _collect_f(ctx, results[:n_f]),
+        _collect_eq7(ctx, results[n_f:]),
+    ]
+
+
+def _render(ablations: list[ExperimentResult]) -> str:
+    return "\n\n".join(report(a) for a in ablations)
+
+
+SPEC = api.register(api.ExperimentSpec(
+    name="sensitivity",
+    description=(
+        "Ablations: fidelity is insensitive to Eq. (2)'s f above ~50, "
+        "and the Eq. (7) missed-update guard pays for itself."
+    ),
+    params=(
+        api.ParamSpec("f_values", "floats", DEFAULT_F_VALUES,
+                      "interest fractions f to sweep"),
+        api.ParamSpec("t_percent", "float", 80.0,
+                      "coherency-stringency mix (T%)"),
+    ),
+    plan=_plan,
+    collect=_collect,
+    render=_render,
+))
+
+
+def run_f_sensitivity(
+    preset: str = "small",
+    f_values: tuple[float, ...] = DEFAULT_F_VALUES,
+    t_percent: float = 80.0,
+    jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
+    **overrides,
+) -> ExperimentResult:
+    """Loss of fidelity vs. Eq. (2)'s f under controlled cooperation."""
+    ctx = api.ExperimentContext(
+        preset=preset,
+        params=SPEC.resolve_params(dict(f_values=f_values, t_percent=t_percent)),
+        jobs=jobs,
+        cache=cache,
+        overrides=overrides,
+    )
+    results = api.execute_plan(_plan_f(ctx), jobs=jobs, cache=cache)
+    return _collect_f(ctx, tuple(results))
+
+
+def run_eq7_ablation(
+    preset: str = "small",
+    t_percent: float = 80.0,
+    jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
+    **overrides,
+) -> ExperimentResult:
+    """Distributed policy with vs. without the Eq. (7) guard."""
+    ctx = api.ExperimentContext(
+        preset=preset,
+        params=SPEC.resolve_params(dict(t_percent=t_percent)),
+        jobs=jobs,
+        cache=cache,
+        overrides=overrides,
+    )
+    results = api.execute_plan(_plan_eq7(ctx), jobs=jobs, cache=cache)
+    return _collect_eq7(ctx, tuple(results))
 
 
 def main(preset: str = "small", **overrides) -> str:

@@ -16,21 +16,26 @@ runs every dissemination policy under every workload generator:
 Loss of fidelity is plotted per policy across workloads; total update
 messages (the cost side) are reported in the notes.  The whole grid is
 one sweep, so ``--jobs N`` parallelises it with bit-identical output.
+
+The replay corpus is written to a *content-addressed* directory (keyed
+by the generation-relevant config fields), so the planned configs --
+and with them the result-cache keys -- are identical across processes
+and reruns; a warm rerun re-plans the same grid and touches no
+simulation.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
+import shutil
 import tempfile
 from pathlib import Path
 
 from repro.engine.config import SimulationConfig
-from repro.experiments.runner import (
-    ExperimentResult,
-    Series,
-    preset_config,
-    report,
-    sweep,
-)
+from repro.experiments import api
+from repro.experiments.cache import CACHE_SCHEMA_VERSION, fingerprint
+from repro.experiments.runner import ExperimentResult, Series, report
 from repro.sim.rng import RandomStreams
 from repro.traces.io import write_trace_csv
 from repro.workloads import (
@@ -40,48 +45,93 @@ from repro.workloads import (
     Table1Workload,
 )
 
-__all__ = ["run", "main", "POLICIES"]
+__all__ = ["SPEC", "run", "main", "POLICIES"]
 
 POLICIES = ("distributed", "centralized", "flooding", "eq3_only")
 
 
-def _write_replay_corpus(config: SimulationConfig, directory: Path) -> None:
-    """Write the config's Table 1 traces as CSVs for the replay column.
+#: Process-lifetime scratch root used when caching is off; cleaned up at
+#: exit, restoring the pre-registry TemporaryDirectory semantics.
+_SCRATCH_ROOT: Path | None = None
 
-    The traces are generated exactly as the builder would (same named
-    streams), so replaying them must reproduce the ``table1`` results
-    bit for bit.
+
+def _corpus_root(ctx: api.ExperimentContext) -> Path:
+    if ctx.cache is not None:
+        # Under the cache's schema-versioned namespace, so bumping
+        # CACHE_SCHEMA_VERSION orphans corpora and results together.
+        return Path(ctx.cache.root) / f"v{CACHE_SCHEMA_VERSION}" / "replay-corpus"
+    global _SCRATCH_ROOT
+    if _SCRATCH_ROOT is None:
+        _SCRATCH_ROOT = Path(tempfile.mkdtemp(prefix="repro-replay-"))
+        atexit.register(shutil.rmtree, _SCRATCH_ROOT, ignore_errors=True)
+    return _SCRATCH_ROOT
+
+
+def _replay_corpus(ctx: api.ExperimentContext, config: SimulationConfig) -> Path:
+    """Materialise the config's Table 1 traces as CSVs; return the dir.
+
+    The directory is content-addressed by the fields that determine the
+    trace set, so every process and every rerun resolves the same path
+    (keeping the planned configs -- and the result-cache keys -- stable)
+    and the corpus is written at most once.  Writers stage into a
+    private temp dir and publish with an atomic rename, so concurrent
+    cold starts can never expose a half-written corpus.  With caching
+    off the corpus lives in a process-lifetime temp dir instead.
     """
-    streams = RandomStreams(config.seed)
-    traces = Table1Workload().make_traces(
-        config.n_items,
-        rng_factory=lambda i: streams.spawn("traces", i),
-        n_samples=config.trace_samples,
+    digest = fingerprint(
+        ("replay-corpus", config.seed, config.n_items, config.trace_samples)
     )
-    for i, trace in enumerate(traces):
-        write_trace_csv(trace, directory / f"item{i:03d}.csv")
-
-
-def run(
-    preset: str = "small", jobs: int | None = 1, **overrides
-) -> ExperimentResult:
-    """Run the workload x policy grid and tabulate fidelity and cost."""
-    base = preset_config(preset, **overrides)
-    with tempfile.TemporaryDirectory(prefix="repro-replay-") as tmp:
-        _write_replay_corpus(base, Path(tmp))
-        workloads = (
-            Table1Workload(),
-            FlashCrowdWorkload(),
-            DiurnalWorkload(),
-            ReplayWorkload(path=tmp),
+    directory = _corpus_root(ctx) / digest[:16]
+    if directory.exists():
+        return directory
+    directory.parent.mkdir(parents=True, exist_ok=True)
+    # Stage inside the same parent so the publishing rename is atomic
+    # (same filesystem) and never observable half-written.
+    staging = Path(tempfile.mkdtemp(prefix=f".{digest[:16]}-", dir=directory.parent))
+    try:
+        streams = RandomStreams(config.seed)
+        traces = Table1Workload().make_traces(
+            config.n_items,
+            rng_factory=lambda i: streams.spawn("traces", i),
+            n_samples=config.trace_samples,
         )
-        configs = [
-            base.with_(policy=policy, workload=workload)
-            for policy in POLICIES
-            for workload in workloads
-        ]
-        losses, runs = sweep(configs, jobs=jobs)
+        for i, trace in enumerate(traces):
+            write_trace_csv(trace, staging / f"item{i:03d}.csv")
+        try:
+            os.rename(staging, directory)
+        except OSError:
+            # A concurrent writer published first; its corpus is
+            # identical by construction.
+            shutil.rmtree(staging, ignore_errors=True)
+    finally:
+        shutil.rmtree(staging, ignore_errors=True)
+    return directory
 
+
+def _grid(ctx: api.ExperimentContext):
+    base = ctx.base_config()
+    corpus = _replay_corpus(ctx, base)
+    workloads = (
+        Table1Workload(),
+        FlashCrowdWorkload(),
+        DiurnalWorkload(),
+        ReplayWorkload(path=str(corpus)),
+    )
+    return base, workloads
+
+
+def _plan(ctx: api.ExperimentContext):
+    base, workloads = _grid(ctx)
+    return tuple(
+        base.with_(policy=policy, workload=workload)
+        for policy in POLICIES
+        for workload in workloads
+    )
+
+
+def _collect(ctx: api.ExperimentContext, results) -> ExperimentResult:
+    _base, workloads = _grid(ctx)
+    losses = [r.loss_of_fidelity for r in results]
     n = len(workloads)
     result = ExperimentResult(
         name="Workload sensitivity: fidelity across update dynamics",
@@ -94,17 +144,41 @@ def run(
     result.notes["workloads"] = {w: wl.describe() for w, wl in enumerate(workloads)}
     result.notes["messages"] = {
         workload.name: {
-            policy: runs[p * n + w].messages for p, policy in enumerate(POLICIES)
+            policy: results[p * n + w].messages for p, policy in enumerate(POLICIES)
         }
         for w, workload in enumerate(workloads)
     }
     replay_matches = all(
-        runs[p * n + 3].loss_of_fidelity == runs[p * n + 0].loss_of_fidelity
-        and runs[p * n + 3].messages == runs[p * n + 0].messages
+        results[p * n + 3].loss_of_fidelity == results[p * n + 0].loss_of_fidelity
+        and results[p * n + 3].messages == results[p * n + 0].messages
         for p in range(len(POLICIES))
     )
     result.notes["replay == table1 (lossless round-trip)"] = replay_matches
     return result
+
+
+SPEC = api.register(api.ExperimentSpec(
+    name="workload_sensitivity",
+    description=(
+        "Every dissemination policy under every workload generator, with "
+        "a replay==table1 losslessness cross-check."
+    ),
+    plan=_plan,
+    collect=_collect,
+    render=report,
+))
+
+
+def run(
+    preset: str = "small",
+    jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
+    **overrides,
+) -> ExperimentResult:
+    """Run the workload x policy grid and tabulate fidelity and cost."""
+    return api.run_experiment(
+        SPEC.name, preset=preset, jobs=jobs, cache=cache, overrides=overrides
+    )
 
 
 def main(preset: str = "small", **overrides) -> str:

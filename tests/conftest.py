@@ -9,6 +9,20 @@ from repro.engine.builder import build_setup
 from repro.engine.config import SCALE_PRESETS
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_cache_root(tmp_path_factory):
+    """Point the experiment cache at a session tmp dir.
+
+    Keeps the suite hermetic: replay corpora and any cache writes land
+    in pytest's tmp tree instead of ``~/.cache/repro``.
+    """
+    import os
+
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    os.environ.pop("REPRO_CACHE_DIR", None)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic generator for structure-level randomness."""

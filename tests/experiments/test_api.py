@@ -1,0 +1,189 @@
+"""Unit tests for the declarative experiment registry and runner."""
+
+import dataclasses
+
+import pytest
+
+from repro.engine.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.experiments import api, figure3, figure7, figure8
+from repro.experiments.runner import ExperimentResult
+
+TINY = dict(n_items=6, trace_samples=300)
+
+
+def test_registry_knows_every_experiment_in_paper_order():
+    assert api.available_experiments() == [
+        "table1",
+        "figure3",
+        "figure5",
+        "figure6",
+        "figure7",
+        "figure8",
+        "figure9",
+        "figure10",
+        "figure11",
+        "scalability",
+        "sensitivity",
+        "pull_baseline",
+        "hybrid_tradeoff",
+        "churn_resilience",
+        "workload_sensitivity",
+    ]
+
+
+def test_every_spec_declares_description_and_callables():
+    for name in api.available_experiments():
+        spec = api.get_experiment(name)
+        assert spec.name == name
+        assert spec.description
+        assert callable(spec.plan) and callable(spec.collect)
+        assert callable(spec.render)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ConfigurationError):
+        api.get_experiment("figure99")
+
+
+def test_duplicate_registration_rejected():
+    spec = api.get_experiment("figure3")
+    clone = dataclasses.replace(spec)
+    with pytest.raises(ConfigurationError):
+        api.register(clone)
+
+
+def test_resolve_params_fills_defaults_and_normalises():
+    spec = api.get_experiment("figure3")
+    params = spec.resolve_params({"degrees": [1, 4]})
+    assert params["degrees"] == (1, 4)  # list normalised to tuple
+    assert params["policy"] == "centralized"  # schema default
+    assert params["t_values"] == figure3.DEFAULT_T_VALUES
+
+
+def test_resolve_params_rejects_unknown_names():
+    with pytest.raises(ConfigurationError):
+        api.get_experiment("figure3").resolve_params({"degreez": (1,)})
+
+
+def test_param_spec_coerces_cli_text():
+    spec = api.get_experiment("figure3")
+    assert spec.param("t_values").coerce("100,50,0") == (100.0, 50.0, 0.0)
+    assert spec.param("degrees").coerce("1,4,20") == (1, 4, 20)
+    assert spec.param("policy").coerce("distributed") == "distributed"
+    with pytest.raises(ConfigurationError):
+        spec.param("t_values").coerce("hot")
+    with pytest.raises(ConfigurationError):
+        spec.param("missing")
+
+
+def test_param_spec_rejects_unknown_kind():
+    with pytest.raises(ConfigurationError):
+        api.ParamSpec("x", "complex")
+
+
+def test_bool_params_parse_false_strings():
+    spec = api.get_experiment("figure11")
+    assert spec.resolve_params(
+        {"controlled_cooperation": "false"}
+    )["controlled_cooperation"] is False
+    assert spec.resolve_params(
+        {"controlled_cooperation": True}
+    )["controlled_cooperation"] is True
+    with pytest.raises(ConfigurationError):
+        spec.resolve_params({"controlled_cooperation": "maybe"})
+    with pytest.raises(ConfigurationError):
+        spec.resolve_params({"controlled_cooperation": 3.5})
+
+
+def test_plans_are_frozen_config_grids():
+    for name in api.available_experiments():
+        spec = api.get_experiment(name)
+        ctx = api.ExperimentContext(
+            preset="tiny", params=spec.resolve_params(), overrides=TINY
+        )
+        plan = spec.plan(ctx)
+        assert isinstance(plan, tuple)
+        for config in plan:
+            assert isinstance(config, SimulationConfig)
+        # Frozen configs are hashable: the dedup/cache plane keys on them.
+        assert len(set(plan)) <= len(plan)
+
+
+def test_run_experiment_matches_module_run():
+    kwargs = dict(t_values=(100.0, 0.0), degrees=[1, 4], **TINY)
+    via_module = figure3.run(preset="tiny", **kwargs)
+    via_api = api.run_experiment(
+        "figure3",
+        preset="tiny",
+        params=dict(t_values=(100.0, 0.0), degrees=[1, 4]),
+        overrides=TINY,
+    )
+    assert via_module == via_api
+
+
+def test_figure7_panels_match_full_run():
+    kwargs = dict(t_values=(100.0,), **TINY)
+    panels = figure7.run(preset="tiny", degrees=[1, 4], comm_delays_ms=(0.0,),
+                         comp_delays_ms=(0.0,), **kwargs)
+    panel_a = figure7.run_base_case(preset="tiny", degrees=[1, 4], **kwargs)
+    assert isinstance(panels, list) and len(panels) == 3
+    assert panels[0] == panel_a
+
+
+def test_execute_plan_deduplicates_within_a_plan():
+    config = SimulationConfig(
+        n_repositories=20, n_routers=60, **TINY
+    )
+    stats = api.ExecutionStats()
+    results = api.execute_plan([config, config], stats=stats)
+    assert stats.planned == 2
+    assert stats.distinct == 1
+    assert results[0] is results[1]
+
+
+def test_run_experiments_shares_points_across_experiments(tmp_path):
+    """figure3 at T=0 with the distributed policy plans the exact configs
+    of figure8's filtered arm: the union must simulate them once."""
+    degrees = (1, 4)
+    report = api.run_experiments(
+        ["figure3", "figure8"],
+        preset="tiny",
+        params_by_name={
+            "figure3": dict(t_values=(0.0,), degrees=degrees,
+                            policy="distributed"),
+            "figure8": dict(degrees=degrees),
+        },
+        overrides=TINY,
+        artifacts_dir=tmp_path,
+    )
+    assert report.stats.planned == len(degrees) * 3  # fig3 row + 2 fig8 rows
+    assert report.stats.deduplicated == len(degrees)
+    # The shared points produce identical curves on both sides.
+    fig3 = report.payloads["figure3"]
+    fig8 = report.payloads["figure8"]
+    assert fig3.series_by_label("T=0").ys == fig8.series_by_label("Filtered").ys
+    # Schema-versioned artifacts are persisted per experiment.
+    for name in ("figure3", "figure8"):
+        artifact = report.artifacts[name]
+        assert artifact.exists()
+        content = artifact.read_text()
+        assert '"schema": "repro.experiment-artifact"' in content
+        assert '"schema_version"' in content
+
+
+def test_to_jsonable_handles_payload_shapes():
+    result = ExperimentResult(
+        name="X", xlabel="x", ylabel="y", xs=[1.0],
+        notes={1: (2, 3), "nested": {"b": True}},
+    )
+    encoded = api.to_jsonable(result)
+    assert encoded["__dataclass__"] == "ExperimentResult"
+    assert encoded["notes"] == {"1": [2, 3], "nested": {"b": True}}
+
+
+def test_render_matches_main_output(capsys):
+    text = figure8.main(preset="tiny", degrees=[1, 4], **TINY)
+    out = capsys.readouterr().out
+    assert text in out
+    assert "Figure 8" in text

@@ -108,6 +108,81 @@ def test_cli_degree_sweep_serial_and_parallel_agree(capsys):
     assert serial.splitlines()[1:] == parallel.splitlines()[1:]
 
 
+def test_cli_experiments_list(capsys):
+    cli_main(["experiments", "list"])
+    out = capsys.readouterr().out
+    for name in ("table1", "figure3", "workload_sensitivity"):
+        assert name in out
+
+
+def test_cli_experiments_show_prints_schema_and_plan(capsys):
+    cli_main(["experiments", "show", "figure3", "--preset", "tiny"])
+    out = capsys.readouterr().out
+    assert "t_values" in out and "floats" in out
+    assert "plan (tiny preset):" in out
+    assert "plan fingerprint:" in out
+
+
+def test_cli_experiments_show_unknown_rejected(capsys):
+    with pytest.raises(SystemExit):
+        cli_main(["experiments", "show", "figure99"])
+
+
+def test_cli_experiments_options_do_not_clobber_top_level():
+    """The subcommand's --preset/--jobs live on their own dests, so an
+    explicit top-level value is never overwritten by subparser defaults."""
+    args = build_parser().parse_args(
+        ["--preset", "paper", "experiments", "run", "figure3"]
+    )
+    assert args.preset == "paper"
+    assert args.exp_preset == "small"
+    args = build_parser().parse_args(
+        ["experiments", "run", "figure3", "--preset", "tiny", "--jobs", "4"]
+    )
+    assert args.exp_preset == "tiny" and args.exp_jobs == 4
+
+
+def test_cli_experiments_run_with_params(capsys, tmp_path):
+    cli_main([
+        "experiments", "run", "figure11",
+        "--preset", "tiny",
+        "--cache-dir", str(tmp_path),
+        "--param", "figure11.t_percent=50",
+    ])
+    out = capsys.readouterr().out
+    assert "Figure 11" in out
+    assert "execution plane:" in out
+    assert (tmp_path / "artifacts" / "tiny" / "figure11.json").exists()
+
+
+def test_cli_experiments_run_warm_rerun_hits_cache(capsys, tmp_path):
+    argv = ["experiments", "run", "figure11", "--preset", "tiny",
+            "--cache-dir", str(tmp_path)]
+    cli_main(argv)
+    cold = capsys.readouterr().out
+    cli_main(argv)
+    warm = capsys.readouterr().out
+    assert "0 cached, 2 simulated" in cold
+    assert "2 cached, 0 simulated" in warm
+
+
+def test_cli_experiments_run_no_cache(capsys, tmp_path):
+    cli_main(["experiments", "run", "figure11", "--preset", "tiny",
+              "--no-cache"])
+    out = capsys.readouterr().out
+    assert "0 cached, 2 simulated" in out
+    assert "[artifacts:" not in out
+
+
+def test_cli_experiments_run_rejects_bad_param(tmp_path):
+    with pytest.raises(SystemExit):
+        cli_main(["experiments", "run", "figure11", "--preset", "tiny",
+                  "--no-cache", "--param", "figure11.bogus=1"])
+    with pytest.raises(SystemExit):
+        cli_main(["experiments", "run", "figure11", "--preset", "tiny",
+                  "--no-cache", "--param", "not-a-pair"])
+
+
 def test_run_all_knows_every_experiment():
     assert set(EXPERIMENTS) == {
         "table1",
@@ -144,3 +219,30 @@ def test_run_all_accepts_jobs(capsys):
     run_all_main(["--preset", "tiny", "--jobs", "2", "--only", "figure11"])
     out = capsys.readouterr().out
     assert "figure11 done" in out
+
+
+def test_run_all_warm_rerun_skips_simulation(capsys, tmp_path):
+    """Acceptance: a warm run_all performs zero new simulations and its
+    output is identical to the cold run's (modulo timing lines)."""
+    argv = ["--preset", "tiny", "--only", "table1", "figure11",
+            "pull_baseline", "--cache-dir", str(tmp_path)]
+    run_all_main(argv)
+    cold = capsys.readouterr().out
+    run_all_main(argv)
+    warm = capsys.readouterr().out
+    assert "0 cached, 7 simulated]" in cold  # 2 sweep + 4 pull + 1 table1
+    assert "7 cached, 0 simulated]" in warm
+
+    def stable(text: str) -> list[str]:
+        return [line for line in text.splitlines()
+                if "done in" not in line and "execution plane" not in line]
+
+    assert stable(cold) == stable(warm)
+
+
+def test_run_all_no_cache_recomputes(capsys):
+    argv = ["--preset", "tiny", "--only", "figure11", "--no-cache"]
+    run_all_main(argv)
+    out = capsys.readouterr().out
+    assert "0 cached, 2 simulated]" in out
+    assert "[artifacts:" not in out
