@@ -16,6 +16,13 @@ subcommand::
     python -m repro experiments list
     python -m repro experiments show figure3
     python -m repro experiments run figure3 figure8 --preset tiny --jobs 4
+
+The live repository network (real servers running the same algorithms)
+hangs off the ``live`` subcommand::
+
+    python -m repro live run --preset tiny
+    python -m repro live run --transport tcp --time-scale 600 --duration 60
+    python -m repro live loadgen --jobs 16 --preset tiny
 """
 
 from __future__ import annotations
@@ -191,6 +198,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="typed experiment parameter, e.g. figure3.policy=distributed "
         "or figure3.t_values=100,50,0 (repeatable)",
     )
+    run.add_argument(
+        "--seed", dest="exp_seed", type=int, default=None, metavar="N",
+        help="override the master seed of every planned config (pins the "
+        "whole run, e.g. for the live cross-check)",
+    )
+
+    live = subcommands.add_parser(
+        "live",
+        help="the live repository network: run | loadgen",
+        description=(
+            "Run the cooperative repository network for real: actual "
+            "servers replaying the config's workload through the same "
+            "LeLA d3g and coherency filter the simulator uses."
+        ),
+    )
+    live_actions = live.add_subparsers(
+        dest="live_command", metavar="ACTION", required=True
+    )
+
+    def _live_common(sub: argparse.ArgumentParser) -> None:
+        # Same dest-isolation rule as the experiments subcommand: the
+        # subparser parses after the main options, so shared dests would
+        # clobber explicit top-level values.
+        sub.add_argument(
+            "--preset", dest="live_preset", default="tiny",
+            choices=sorted(SCALE_PRESETS), help="scale preset (default: tiny)",
+        )
+        sub.add_argument(
+            "--policy", dest="live_policy", default="distributed",
+            choices=available_policies(),
+            help="dissemination policy (default: distributed)",
+        )
+        sub.add_argument(
+            "--t", dest="live_t", type=float, default=80.0, metavar="PERCENT",
+            help="share of stringent coherency tolerances (default: 80)",
+        )
+        sub.add_argument(
+            "--seed", dest="live_seed", type=int, default=None,
+            help="master seed (default: preset seed)",
+        )
+        sub.add_argument(
+            "--transport", default="inprocess", choices=("inprocess", "tcp"),
+            help="inprocess = deterministic virtual time (bit-reproducible); "
+            "tcp = real localhost sockets (default: inprocess)",
+        )
+        sub.add_argument(
+            "--time-scale", type=float, default=60.0, metavar="X",
+            help="simulated seconds per wall second for the tcp transport "
+            "(default: 60; ignored by inprocess, which runs virtual time)",
+        )
+        sub.add_argument(
+            "--duration", type=float, default=None, metavar="S",
+            help="truncate the replay to the first S simulated seconds "
+            "(default: the full trace span)",
+        )
+
+    live_run = live_actions.add_parser(
+        "run", help="replay the workload through a live network"
+    )
+    _live_common(live_run)
+
+    loadgen = live_actions.add_parser(
+        "loadgen",
+        help="attach synthetic clients and report observed fidelity",
+    )
+    _live_common(loadgen)
+    loadgen.add_argument(
+        "--jobs", dest="live_jobs", type=_job_count, default=8, metavar="N",
+        help="number of concurrent synthetic clients (default: 8)",
+    )
     return parser
 
 
@@ -270,6 +347,7 @@ def _experiments_run(args) -> None:
     if artifacts_dir is None and cache is not None:
         artifacts_dir = cache.root / "artifacts" / args.exp_preset
 
+    overrides = {"seed": args.exp_seed} if args.exp_seed is not None else None
     report = api.run_experiments(
         names,
         preset=args.exp_preset,
@@ -277,6 +355,7 @@ def _experiments_run(args) -> None:
         cache=cache,
         artifacts_dir=artifacts_dir,
         params_by_name=_parse_params(args.param, names),
+        overrides=overrides,
         progress=print,
     )
     for name in names:
@@ -285,9 +364,77 @@ def _experiments_run(args) -> None:
         print(f"\n[artifacts: {artifacts_dir}]")
 
 
+def _live_config(args):
+    overrides: dict = {"t_percent": args.live_t, "policy": args.live_policy}
+    if args.live_seed is not None:
+        overrides["seed"] = args.live_seed
+    return preset_config(args.live_preset, **overrides)
+
+
+def _live_run(args) -> None:
+    from repro.live import run_live
+
+    config = _live_config(args)
+    result = run_live(
+        config,
+        args.transport,
+        duration=args.duration,
+        time_scale=args.time_scale,
+    )
+    rate = result.delivered / result.wall_seconds if result.wall_seconds else 0.0
+    print(f"preset={args.live_preset} policy={args.live_policy} "
+          f"transport={result.transport} workload={config.workload.describe()}")
+    print(f"observed loss of fidelity : {result.loss_of_fidelity:.3f} %")
+    print(f"messages (repo plane)     : {result.messages}")
+    print(f"sent/delivered/dropped    : {result.sent}/{result.delivered}"
+          f"/{result.dropped} (conserved={result.conserved})")
+    print(f"replayed span             : {result.sim_span_s:.0f} s simulated")
+    print(f"wall time                 : {result.wall_seconds:.2f} s "
+          f"({rate:.0f} deliveries/s)")
+
+
+def _live_loadgen(args) -> None:
+    from repro.live import run_loadgen
+
+    if args.live_jobs < 1:
+        raise SystemExit("--jobs must be >= 1 for loadgen")
+    config = _live_config(args)
+    report = run_loadgen(
+        config,
+        args.live_jobs,
+        args.transport,
+        duration=args.duration,
+        time_scale=args.time_scale,
+    )
+    result = report.result
+    print(f"preset={args.live_preset} policy={args.live_policy} "
+          f"transport={result.transport} clients={args.live_jobs}")
+    print(f"network loss of fidelity  : {result.loss_of_fidelity:.3f} %")
+    print(f"client requirements met   : {report.n_met}/{report.n_requirements} "
+          f"({100.0 * report.met_fraction:.0f}%)")
+    print(f"client messages           : "
+          f"{result.extras.get('client_messages', 0)}")
+    print(f"{'client':>6} {'repo':>5} {'items':>5} {'met':>4} "
+          f"{'worst observed loss%':>21}")
+    for client in report.clients:
+        worst = max(client.observed_loss.values(), default=0.0)
+        print(f"{client.client_id:>6} {client.repository:>5} "
+              f"{len(client.requirements):>5} "
+              f"{sum(client.met.values()):>4} {worst:>21.3f}")
+
+
 def main(argv: list[str] | None = None) -> None:
     args = build_parser().parse_args(argv)
 
+    if getattr(args, "command", None) == "live":
+        try:
+            if args.live_command == "run":
+                _live_run(args)
+            else:
+                _live_loadgen(args)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
+        return
     if getattr(args, "command", None) == "experiments":
         try:
             if args.experiments_command == "list":

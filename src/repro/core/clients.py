@@ -22,7 +22,12 @@ from repro.core.interests import InterestProfile
 from repro.core.items import CoherencyMix, DataItem
 from repro.errors import ConfigurationError
 
-__all__ = ["Client", "ClientPopulation", "derive_repository_profiles"]
+__all__ = [
+    "Client",
+    "ClientPopulation",
+    "derive_repository_profiles",
+    "requirement_report",
+]
 
 
 @dataclass(frozen=True)
@@ -144,3 +149,34 @@ def derive_repository_profiles(
         repo: InterestProfile(repository=repo, requirements=reqs)
         for repo, reqs in sorted(derived.items())
     }
+
+
+def requirement_report(
+    population: ClientPopulation,
+    achieved_c: dict[tuple[int, int], float],
+) -> dict[int, dict[int, bool]]:
+    """Which client requirements does a deployment's achievement meet?
+
+    The reverse of :func:`derive_repository_profiles`: given the
+    coherency each (repository, item) pair actually achieved (e.g. the
+    tolerance the repository receives the item at, or a measured
+    effective tolerance), report per client and item whether the
+    achievement is at least as stringent as the client's own need.  An
+    item the client's repository does not achieve at all is unmet.
+
+    Args:
+        population: The client population.
+        achieved_c: ``(repository, item_id) -> c`` actually achieved.
+
+    Returns:
+        ``client_id -> {item_id -> requirement met}`` covering every
+        requirement of every client.
+    """
+    report: dict[int, dict[int, bool]] = {}
+    for client in population.clients:
+        per_item: dict[int, bool] = {}
+        for item_id, needed in client.requirements.items():
+            achieved = achieved_c.get((client.repository, item_id))
+            per_item[item_id] = achieved is not None and achieved <= needed
+        report[client.client_id] = per_item
+    return report

@@ -21,6 +21,7 @@ from repro.core.dissemination.base import DisseminationPolicy, ForwardDecision
 from repro.core.dissemination.centralized import CentralizedPolicy
 from repro.core.dissemination.distributed import DistributedPolicy
 from repro.core.dissemination.eq3only import Eq3OnlyPolicy
+from repro.core.dissemination.filtering import EdgeFilter, SourceTagger
 from repro.core.dissemination.flooding import FloodingPolicy
 from repro.core.dissemination.registry import available_policies, make_policy
 
@@ -31,6 +32,8 @@ __all__ = [
     "CentralizedPolicy",
     "FloodingPolicy",
     "Eq3OnlyPolicy",
+    "EdgeFilter",
+    "SourceTagger",
     "make_policy",
     "available_policies",
 ]

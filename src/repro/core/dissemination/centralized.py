@@ -12,6 +12,12 @@ A repository receiving a tagged update forwards it to each dependent that
 (i) is interested in the item and (ii) has a serving coherency ``<=`` the
 tag.  Because Eq. (1) makes coherencies non-increasing in stringency
 toward the leaves, the tag cleanly prunes whole subtrees.
+
+The source-side state machine lives in
+:class:`~repro.core.dissemination.filtering.SourceTagger` and the tag
+pruning test in :func:`~repro.core.dissemination.filtering.
+forward_centralized`, shared verbatim with the live
+:class:`~repro.live.nodes.SourceNode` / repository servers.
 """
 
 from __future__ import annotations
@@ -22,25 +28,14 @@ from repro.core.dissemination.base import (
     ForwardDecision,
     SourceDecision,
 )
+from repro.core.dissemination.filtering import (
+    SourceTagger,
+    forward_centralized,
+    quantise_tolerance,
+)
+from repro.core.dissemination.filtering import tag_for_update  # noqa: F401  (re-export)
 
 __all__ = ["CentralizedPolicy", "tag_for_update"]
-
-_TOLERANCE_QUANTUM = 1e-9
-
-
-def tag_for_update(
-    value: float, unique_cs: list[float], last_sent: dict[float, float]
-) -> float | None:
-    """Return the largest violated tolerance, or None if none is violated.
-
-    Exposed for direct unit testing; mutates nothing.
-    """
-    tag: float | None = None
-    for c in unique_cs:
-        if abs(value - last_sent[c]) > c:
-            if tag is None or c > tag:
-                tag = c
-    return tag
 
 
 class CentralizedPolicy(DisseminationPolicy):
@@ -49,30 +44,15 @@ class CentralizedPolicy(DisseminationPolicy):
     name = "centralized"
 
     def __init__(self) -> None:
-        # item -> sorted list of unique serving tolerances in the system.
-        self._unique_cs: dict[int, list[float]] = {}
-        # item -> {tolerance -> last value disseminated for it}.
-        self._last_sent: dict[int, dict[float, float]] = {}
-        self._initial: dict[int, float] = {}
+        self._tagger = SourceTagger()
         self._edge_c: dict[tuple[int, int, int], float] = {}
-
-    @staticmethod
-    def _quantise(c: float) -> float:
-        """Collapse float noise so 'unique tolerance' is well defined."""
-        return round(c, 9)
 
     def register_edge(
         self, parent: int, child: int, item_id: int, c_serve: float, initial_value: float
     ) -> None:
-        c = self._quantise(c_serve)
+        c = quantise_tolerance(c_serve)
         self._edge_c[(parent, child, item_id)] = c
-        cs = self._unique_cs.setdefault(item_id, [])
-        sent = self._last_sent.setdefault(item_id, {})
-        if c not in sent:
-            cs.append(c)
-            cs.sort()
-            sent[c] = initial_value
-        self._initial.setdefault(item_id, initial_value)
+        self._tagger.add_tolerance(item_id, c, initial_value)
 
     def unregister_edge(self, parent: int, child: int, item_id: int) -> None:
         c = self._edge_c.pop((parent, child, item_id), None)
@@ -87,32 +67,14 @@ class CentralizedPolicy(DisseminationPolicy):
             if it == item_id
         )
         if not still_served:
-            cs = self._unique_cs.get(item_id)
-            if cs is not None and c in cs:
-                cs.remove(c)
-            sent = self._last_sent.get(item_id)
-            if sent is not None:
-                sent.pop(c, None)
+            self._tagger.remove_tolerance(item_id, c)
 
     def unique_tolerances(self, item_id: int) -> list[float]:
         """The source's per-item state (ascending unique tolerances)."""
-        return list(self._unique_cs.get(item_id, []))
+        return self._tagger.unique_tolerances(item_id)
 
     def at_source(self, item_id: int, value: float) -> SourceDecision:
-        cs = self._unique_cs.get(item_id)
-        if not cs:
-            return SourceDecision(disseminate=False, tag=None, checks=0)
-        sent = self._last_sent[item_id]
-        tag = tag_for_update(value, cs, sent)
-        checks = len(cs)
-        if tag is None:
-            return SourceDecision(disseminate=False, tag=None, checks=checks)
-        for c in cs:
-            if c <= tag:
-                sent[c] = value
-            else:
-                break
-        return SourceDecision(disseminate=True, tag=tag, checks=checks)
+        return self._tagger.examine(item_id, value)
 
     def decide(
         self,
@@ -133,4 +95,4 @@ class CentralizedPolicy(DisseminationPolicy):
             raise DisseminationError(
                 f"edge {parent}->{child} for item {item_id} was never registered"
             ) from None
-        return ForwardDecision(forward=c_serve <= tag)
+        return ForwardDecision(forward=forward_centralized(c_serve, tag))

@@ -26,18 +26,15 @@ from repro.core.dissemination.base import (
     ForwardDecision,
     SourceDecision,
 )
+from repro.core.dissemination.filtering import forward_distributed
 
 __all__ = ["DistributedPolicy", "should_forward_distributed"]
 
-
-def should_forward_distributed(
-    value: float, last_sent: float, c_serve: float, parent_receive_c: float
-) -> bool:
-    """The pure Eq. (3)-or-Eq. (7) test (exposed for direct unit testing)."""
-    deviation = abs(value - last_sent)
-    if deviation > c_serve:  # Eq. (3)
-        return True
-    return c_serve - deviation < parent_receive_c  # Eq. (7)
+#: The pure Eq. (3)-or-Eq. (7) test.  Lives in
+#: :mod:`repro.core.dissemination.filtering` so the live repository
+#: servers share the exact code path; re-exported here under its
+#: historical name.
+should_forward_distributed = forward_distributed
 
 
 class DistributedPolicy(DisseminationPolicy):

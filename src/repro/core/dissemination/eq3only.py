@@ -17,6 +17,7 @@ from repro.core.dissemination.base import (
     ForwardDecision,
     SourceDecision,
 )
+from repro.core.dissemination.filtering import forward_eq3_only
 
 __all__ = ["Eq3OnlyPolicy"]
 
@@ -61,7 +62,7 @@ class Eq3OnlyPolicy(DisseminationPolicy):
             raise DisseminationError(
                 f"edge {parent}->{child} for item {item_id} was never registered"
             ) from None
-        forward = abs(value - last_sent) > self._c_serve[key]
+        forward = forward_eq3_only(value, last_sent, self._c_serve[key])
         if forward:
             self._last_sent[key] = value
         return ForwardDecision(forward=forward)

@@ -1,0 +1,227 @@
+"""The pure per-edge forwarding decisions, shared by sim and live code.
+
+Every dissemination policy ultimately answers one question per
+(update, service edge): *should this update be forwarded to dependent
+R for item x?*  The four :class:`~repro.core.dissemination.base.
+DisseminationPolicy` subclasses each used to inline their own copy of
+that test; this module hoists the decisions into pure functions so that
+
+- the simulation policies (:mod:`repro.core.dissemination.distributed`
+  and friends) and
+- the live repository servers (:mod:`repro.live.nodes`)
+
+share **one** code path, and the simulator can be cross-validated
+against a running network (the ``live_crosscheck`` experiment) without
+any risk of the two re-implementing the paper's equations differently.
+
+Three layers:
+
+- the pure functions (:func:`forward_distributed`, :func:`forward_eq3_only`,
+  :func:`forward_flooding`, :func:`forward_centralized`,
+  :func:`tag_for_update`) -- stateless, trivially property-testable;
+- :class:`EdgeFilter` -- one edge's decision plus its per-edge state
+  (``last_sent``), dispatching to the pure functions by policy name;
+- :class:`SourceTagger` -- the centralised policy's source-side
+  examination (unique-tolerance list, per-tolerance last-sent values,
+  Figure 11(a) check counting).
+"""
+
+from __future__ import annotations
+
+from repro.core.dissemination.base import SourceDecision
+from repro.errors import ConfigurationError, DisseminationError
+
+__all__ = [
+    "quantise_tolerance",
+    "forward_distributed",
+    "forward_eq3_only",
+    "forward_flooding",
+    "forward_centralized",
+    "tag_for_update",
+    "EdgeFilter",
+    "SourceTagger",
+    "FILTERED_POLICIES",
+]
+
+#: Policy names :class:`EdgeFilter` understands (the push policies).
+FILTERED_POLICIES = ("distributed", "centralized", "flooding", "eq3_only")
+
+_TOLERANCE_DECIMALS = 9
+
+
+def quantise_tolerance(c: float) -> float:
+    """Collapse float noise so 'unique tolerance' is well defined.
+
+    The centralised policy groups edges by their serving tolerance; two
+    tolerances that differ only in float dust must land in one bucket.
+    """
+    return round(c, _TOLERANCE_DECIMALS)
+
+
+def forward_distributed(
+    value: float, last_sent: float, c_serve: float, parent_receive_c: float
+) -> bool:
+    """The distributed policy's Eq. (3)-or-Eq. (7) test.
+
+    Forward when the dependent's tolerance is already violated
+    (Eq. 3: ``|v - last_sent| > c_serve``) or its remaining slack has
+    shrunk below the coherency at which this node itself receives the
+    item (Eq. 7: ``c_serve - |v - last_sent| < parent_receive_c``), so
+    the *next* update could violate the dependent's tolerance without
+    this node ever seeing it.
+    """
+    deviation = abs(value - last_sent)
+    if deviation > c_serve:  # Eq. (3)
+        return True
+    return c_serve - deviation < parent_receive_c  # Eq. (7)
+
+
+def forward_eq3_only(value: float, last_sent: float, c_serve: float) -> bool:
+    """Eq. (3) alone -- provably insufficient (the Figure 4 failure)."""
+    return abs(value - last_sent) > c_serve
+
+
+def forward_flooding(value: float, last_value: float) -> bool:
+    """Forward every *distinct* value (repeats carry no information)."""
+    return value != last_value
+
+
+def forward_centralized(c_serve: float, tag: float) -> bool:
+    """Tag pruning: forward when the edge's tolerance is covered by the
+    source's maximum-violated-tolerance tag (``c_serve <= tag``)."""
+    return c_serve <= tag
+
+
+def tag_for_update(
+    value: float, unique_cs: list[float], last_sent: dict[float, float]
+) -> float | None:
+    """Return the largest violated tolerance, or None if none is violated.
+
+    The centralised policy's source-side tagging rule; mutates nothing.
+    """
+    tag: float | None = None
+    for c in unique_cs:
+        if abs(value - last_sent[c]) > c:
+            if tag is None or c > tag:
+                tag = c
+    return tag
+
+
+class EdgeFilter:
+    """One service edge's forwarding decision plus its per-edge state.
+
+    The live :class:`~repro.live.nodes.RepositoryNode` keeps one filter
+    per (dependent, item); the sim policies keep equivalent state in
+    bulk dictionaries but route every decision through the same pure
+    functions, so the two planes cannot drift apart.
+    """
+
+    __slots__ = ("policy", "c_serve", "last_sent")
+
+    def __init__(self, policy: str, c_serve: float, initial_value: float) -> None:
+        if policy not in FILTERED_POLICIES:
+            raise ConfigurationError(
+                f"unknown edge-filter policy {policy!r}; "
+                f"choose from {list(FILTERED_POLICIES)}"
+            )
+        self.policy = policy
+        self.c_serve = (
+            quantise_tolerance(c_serve) if policy == "centralized" else c_serve
+        )
+        self.last_sent = initial_value
+
+    def decide(
+        self, value: float, parent_receive_c: float = 0.0, tag: float | None = None
+    ) -> bool:
+        """Should this value be forwarded over the edge?
+
+        Mirrors :meth:`DisseminationPolicy.decide` for a single edge,
+        including the state update on a positive decision.
+
+        Raises:
+            DisseminationError: for a centralised decision without a tag
+                (every centralised update must carry one).
+        """
+        if self.policy == "distributed":
+            forward = forward_distributed(
+                value, self.last_sent, self.c_serve, parent_receive_c
+            )
+        elif self.policy == "eq3_only":
+            forward = forward_eq3_only(value, self.last_sent, self.c_serve)
+        elif self.policy == "flooding":
+            forward = forward_flooding(value, self.last_sent)
+        else:  # centralized
+            if tag is None:
+                raise DisseminationError(
+                    "centralised dissemination requires a source tag on every update"
+                )
+            forward = forward_centralized(self.c_serve, tag)
+        if forward:
+            self.last_sent = value
+        return forward
+
+
+class SourceTagger:
+    """The centralised policy's source-side state and examination.
+
+    Tracks, per item, the sorted list of unique serving tolerances that
+    exist *anywhere* in the repository network and the last value
+    disseminated for each.  :meth:`examine` implements Section 5.2's
+    source algorithm: check every unique tolerance (the Figure 11(a)
+    overhead), tag the update with the largest violated one, and mark
+    the value as sent for every tolerance the tag covers.
+
+    Shared by :class:`~repro.core.dissemination.centralized.
+    CentralizedPolicy` (which feeds it from ``register_edge``) and the
+    live :class:`~repro.live.nodes.SourceNode` (which feeds it from the
+    LeLA-built ``d3g``).
+    """
+
+    def __init__(self) -> None:
+        # item -> sorted list of unique serving tolerances in the system.
+        self._unique_cs: dict[int, list[float]] = {}
+        # item -> {tolerance -> last value disseminated for it}.
+        self._last_sent: dict[int, dict[float, float]] = {}
+
+    def add_tolerance(self, item_id: int, c: float, initial_value: float) -> None:
+        """Declare that somewhere in the network ``item_id`` is served at
+        (quantised) tolerance ``c``.  Idempotent per (item, tolerance)."""
+        c = quantise_tolerance(c)
+        cs = self._unique_cs.setdefault(item_id, [])
+        sent = self._last_sent.setdefault(item_id, {})
+        if c not in sent:
+            cs.append(c)
+            cs.sort()
+            sent[c] = initial_value
+
+    def remove_tolerance(self, item_id: int, c: float) -> None:
+        """Forget one (item, tolerance) pair -- the caller has verified no
+        remaining edge serves the item at it.  Idempotent."""
+        c = quantise_tolerance(c)
+        cs = self._unique_cs.get(item_id)
+        if cs is not None and c in cs:
+            cs.remove(c)
+        sent = self._last_sent.get(item_id)
+        if sent is not None:
+            sent.pop(c, None)
+
+    def unique_tolerances(self, item_id: int) -> list[float]:
+        """The per-item state: ascending unique tolerances."""
+        return list(self._unique_cs.get(item_id, []))
+
+    def examine(self, item_id: int, value: float) -> SourceDecision:
+        """Examine one fresh source update (Section 5.2's source step)."""
+        cs = self._unique_cs.get(item_id)
+        if not cs:
+            return SourceDecision(disseminate=False, tag=None, checks=0)
+        sent = self._last_sent[item_id]
+        tag = tag_for_update(value, cs, sent)
+        checks = len(cs)
+        if tag is None:
+            return SourceDecision(disseminate=False, tag=None, checks=checks)
+        for c in cs:
+            if c <= tag:
+                sent[c] = value
+            else:
+                break
+        return SourceDecision(disseminate=True, tag=tag, checks=checks)

@@ -15,6 +15,7 @@ from repro.core.dissemination.base import (
     ForwardDecision,
     SourceDecision,
 )
+from repro.core.dissemination.filtering import forward_flooding
 
 __all__ = ["FloodingPolicy"]
 
@@ -55,7 +56,7 @@ class FloodingPolicy(DisseminationPolicy):
         key = (parent, child, item_id)
         # Identical consecutive values carry no information even for
         # flooding (the paper's traces are *changes*); skip pure repeats.
-        if self._last_value.get(key) == value:
+        if not forward_flooding(value, self._last_value.get(key)):
             return ForwardDecision(forward=False)
         self._last_value[key] = value
         return ForwardDecision(forward=True)

@@ -297,6 +297,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.hybrid_tradeoff",
     "repro.experiments.churn_resilience",
     "repro.experiments.workload_sensitivity",
+    "repro.experiments.live_crosscheck",
 )
 
 

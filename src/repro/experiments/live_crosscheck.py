@@ -1,0 +1,166 @@
+"""Cross-validate the simulator against the live network.
+
+The paper's credibility rests on a *real implementation*; ours rests on
+the simulator and the live network (:mod:`repro.live`) being two
+executions of the same algorithms.  This experiment runs both planes on
+identical configs -- the simulation through the shared cached sweep
+plane, the live network on the deterministic in-process transport --
+and asserts they agree:
+
+- **fidelity**: system loss of fidelity matches within
+  ``fidelity_tol`` percentage points per policy (the two planes share
+  the coherency filter, the ``d3g``, the delays and the queueing
+  semantics, so the expected delta is exactly zero; the tolerance
+  absorbs nothing but genuine regressions);
+- **messages**: repository-plane message counts match within
+  ``message_tol`` percent;
+- **conservation**: on the live wire, ``deliveries + drops == sends``.
+
+A disagreement raises -- a failed cross-check is a correctness bug in
+one of the planes, not a data point.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.experiments import api
+
+__all__ = ["SPEC", "POLICIES", "run", "main"]
+
+#: The two exact policies are the cross-check's subjects; flooding and
+#: eq3_only are diagnostic baselines, available via the ``policies``
+#: parameter.
+POLICIES = ("distributed", "centralized")
+
+
+def _policies(ctx: api.ExperimentContext) -> tuple[str, ...]:
+    return tuple(p for p in ctx.params["policies"].split(",") if p.strip())
+
+
+def _plan(ctx: api.ExperimentContext):
+    base = ctx.base_config()
+    return tuple(base.with_(policy=policy) for policy in _policies(ctx))
+
+
+def _collect(ctx: api.ExperimentContext, results) -> dict:
+    from repro.live.harness import run_live
+
+    fidelity_tol = ctx.params["fidelity_tol"]
+    message_tol = ctx.params["message_tol"]
+    base = ctx.base_config()
+    payload: dict = {
+        "preset": ctx.preset,
+        "fidelity_tol_pp": fidelity_tol,
+        "message_tol_pct": message_tol,
+        "policies": {},
+    }
+    for policy, sim in zip(_policies(ctx), results):
+        config = base.with_(policy=policy)
+        # The live half is deliberately NEVER cached: the experiment
+        # exists to detect drift between today's code and the (possibly
+        # cached) sim results, and a cache key carries no code
+        # fingerprint -- a cached live answer would let a regression in
+        # the shared filter report agreement forever.  The run is
+        # sub-second at cross-check scale and bit-deterministic, so
+        # recomputing keeps warm-rerun payloads byte-identical too.
+        live = run_live(config, "inprocess")
+        if not live.conserved:
+            raise SimulationError(
+                f"live_crosscheck[{policy}]: message conservation violated: "
+                f"sent={live.sent} delivered={live.delivered} "
+                f"dropped={live.dropped}"
+            )
+        delta_loss = abs(sim.loss_of_fidelity - live.loss_of_fidelity)
+        if delta_loss > fidelity_tol:
+            raise SimulationError(
+                f"live_crosscheck[{policy}]: fidelity disagrees by "
+                f"{delta_loss:.4f} pp (sim {sim.loss_of_fidelity:.4f}, "
+                f"live {live.loss_of_fidelity:.4f}; tolerance {fidelity_tol})"
+            )
+        message_delta_pct = (
+            100.0 * abs(sim.messages - live.messages) / sim.messages
+            if sim.messages
+            else 0.0
+        )
+        if message_delta_pct > message_tol:
+            raise SimulationError(
+                f"live_crosscheck[{policy}]: message counts disagree by "
+                f"{message_delta_pct:.2f}% (sim {sim.messages}, "
+                f"live {live.messages}; tolerance {message_tol}%)"
+            )
+        payload["policies"][policy] = {
+            "sim_loss": sim.loss_of_fidelity,
+            "live_loss": live.loss_of_fidelity,
+            "delta_loss_pp": delta_loss,
+            "sim_messages": sim.messages,
+            "live_messages": live.messages,
+            "message_delta_pct": message_delta_pct,
+            "live_sent": live.sent,
+            "live_delivered": live.delivered,
+            "live_dropped": live.dropped,
+            "conserved": live.conserved,
+        }
+    payload["agreement"] = True
+    return payload
+
+
+def _render(payload: dict) -> str:
+    lines = [
+        "Live cross-check: simulator vs in-process live network "
+        f"(preset={payload['preset']})",
+        f"tolerances: fidelity {payload['fidelity_tol_pp']} pp, "
+        f"messages {payload['message_tol_pct']}%",
+        "",
+        f"{'policy':<14} {'sim loss%':>10} {'live loss%':>10} "
+        f"{'Δpp':>8} {'sim msgs':>9} {'live msgs':>9} {'conserved':>9}",
+    ]
+    for policy, row in payload["policies"].items():
+        lines.append(
+            f"{policy:<14} {row['sim_loss']:>10.4f} {row['live_loss']:>10.4f} "
+            f"{row['delta_loss_pp']:>8.4f} {row['sim_messages']:>9d} "
+            f"{row['live_messages']:>9d} {str(row['conserved']):>9}"
+        )
+    lines.append("")
+    lines.append("agreement: within tolerance on every policy")
+    return "\n".join(lines)
+
+
+SPEC = api.register(api.ExperimentSpec(
+    name="live_crosscheck",
+    description=(
+        "The live network and the simulator agree on fidelity and message "
+        "counts for identical configs (shared-filter cross-validation)."
+    ),
+    params=(
+        api.ParamSpec("policies", "str", ",".join(POLICIES),
+                      "comma-separated policies to cross-check"),
+        api.ParamSpec("fidelity_tol", "float", 0.5,
+                      "max |sim - live| system loss disagreement, "
+                      "percentage points"),
+        api.ParamSpec("message_tol", "float", 2.0,
+                      "max repository-plane message-count disagreement, %"),
+    ),
+    plan=_plan,
+    collect=_collect,
+    render=_render,
+))
+
+
+def run(
+    preset: str = "small",
+    jobs: int | None = 1,
+    cache: api.ResultCache | None = None,
+    **overrides,
+) -> dict:
+    """Programmatic entry point mirroring the other experiment modules."""
+    return api.run_experiment(
+        "live_crosscheck", preset=preset, jobs=jobs, cache=cache,
+        overrides=overrides,
+    )
+
+
+def main(preset: str = "small", jobs: int | None = 1) -> str:
+    """Run and render (the historical module-level driver shape)."""
+    text = SPEC.render(run(preset=preset, jobs=jobs))
+    print(text)
+    return text

@@ -84,6 +84,13 @@ def build_parser() -> argparse.ArgumentParser:
         "<cache-dir>/artifacts/<preset>; only written when caching is on "
         "or a directory is given explicitly)",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the master seed of every planned config",
+    )
     return parser
 
 
@@ -110,6 +117,7 @@ def main(argv: list[str] | None = None) -> None:
         jobs=args.jobs,
         cache=cache,
         artifacts_dir=artifacts_dir,
+        overrides={"seed": args.seed} if args.seed is not None else None,
         progress=print,
     )
     for name in names:

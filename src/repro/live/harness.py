@@ -1,0 +1,434 @@
+"""Turn a :class:`~repro.engine.config.SimulationConfig` into a running
+live network and collect a simulator-shaped result.
+
+:func:`build_live_network` reuses the engine's builder verbatim -- the
+same seeded topology, workload traces, interest profiles and LeLA-built
+``d3g`` a simulation run would use -- and wires them into sans-io nodes
+(:mod:`repro.live.nodes`).  :func:`run_live` drives the network with a
+transport (:mod:`repro.live.transport`) and scores *observed* fidelity
+from the delivery logs with the same
+:func:`~repro.core.fidelity.loss_of_fidelity` computation the simulator
+uses, returning a :class:`LiveRunResult` shaped like
+:class:`~repro.engine.results.SimulationResult` so experiments can
+compare the two planes field by field (the ``live_crosscheck``
+experiment does exactly that).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.clients import ClientPopulation
+from repro.core.dissemination.filtering import EdgeFilter, SourceTagger
+from repro.core.fidelity import FidelityAccumulator, loss_of_fidelity
+from repro.core.metrics import CostCounters
+from repro.core.tree import TreeStats
+from repro.engine.builder import SimulationSetup, build_setup
+from repro.engine.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.live.nodes import ClientNode, RepositoryNode, SourceNode
+from repro.live.transport import TransportStats, make_transport
+
+__all__ = ["LiveNetwork", "LiveRunResult", "build_live_network", "run_live"]
+
+
+@dataclass
+class LiveRunResult:
+    """Everything one live run produced, simulator-shaped.
+
+    The first block of attributes mirrors
+    :class:`~repro.engine.results.SimulationResult` field for field so
+    sim and live runs can be compared directly; the second block adds
+    the wire-level accounting only a real network has.
+
+    Attributes:
+        loss_of_fidelity: System-wide mean *observed* loss of fidelity,
+            percent (0 is perfect).
+        per_repository_loss: Mean observed loss per repository.
+        counters: Repository-plane message/check accounting (client
+            traffic is tallied separately in ``extras``).
+        tree_stats: Shape of the ``d3g`` the network ran.
+        effective_degree: Degree of cooperation enforced by the build.
+        avg_comm_delay_ms: Mean node-to-node delay of the topology.
+        sim_span_s: Observation-window length in simulated seconds.
+        transport: Transport name (``inprocess`` or ``tcp``).
+        wall_seconds: Wall-clock duration of the run.
+        sent / delivered / dropped: Wire-level message conservation
+            (``sent == delivered + dropped`` always holds at rest).
+        extras: Free-form additions (client-plane observations).
+    """
+
+    loss_of_fidelity: float
+    per_repository_loss: dict[int, float]
+    counters: CostCounters
+    tree_stats: TreeStats
+    effective_degree: int
+    avg_comm_delay_ms: float
+    sim_span_s: float
+    transport: str
+    wall_seconds: float
+    sent: int
+    delivered: int
+    dropped: int
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def fidelity(self) -> float:
+        """System observed fidelity in percent (100 = perfect)."""
+        return 100.0 - self.loss_of_fidelity
+
+    @property
+    def messages(self) -> int:
+        """Repository-plane update messages sent (sim-comparable)."""
+        return self.counters.messages
+
+    @property
+    def conserved(self) -> bool:
+        """Message conservation: every send was delivered or dropped."""
+        return self.sent == self.delivered + self.dropped
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"loss={self.loss_of_fidelity:.2f}% "
+            f"messages={self.counters.messages} "
+            f"delivered={self.delivered} dropped={self.dropped} "
+            f"transport={self.transport} wall={self.wall_seconds:.2f}s"
+        )
+
+
+class LiveNetwork:
+    """A built-but-not-yet-running live network.
+
+    Holds the engine setup, the sans-io nodes, and the lookup tables a
+    transport needs (node handlers, edge pairs, the source schedule).
+    """
+
+    def __init__(
+        self,
+        setup: SimulationSetup,
+        counters: CostCounters,
+        source_node: SourceNode,
+        repositories: dict[int, RepositoryNode],
+        clients: dict[int, ClientNode],
+    ) -> None:
+        self.setup = setup
+        self.counters = counters
+        self.source_node = source_node
+        self.repositories = repositories
+        #: transport node id -> client node.
+        self.clients = clients
+
+    def node(self, node_id: int):
+        """The message handler for one destination node id."""
+        repo = self.repositories.get(node_id)
+        if repo is not None:
+            return repo
+        return self.clients[node_id]
+
+    def all_node_ids(self) -> list[int]:
+        """Every transport endpoint: source, repositories, clients."""
+        return [self.source_node.node, *self.repositories, *self.clients]
+
+    def edge_pairs(self) -> list[tuple[int, int]]:
+        """Every (sender, receiver) pair a message can flow over."""
+        pairs: set[tuple[int, int]] = set()
+        for sender in (self.source_node, *self.repositories.values()):
+            for edges in sender.edges.values():
+                for edge in edges:
+                    pairs.add((sender.node, edge.child))
+        return sorted(pairs)
+
+    def source_schedule(self, duration: float | None = None) -> list[tuple[float, int, float]]:
+        """The workload replay: (time, item, value), time-ordered.
+
+        The sort is stable over the per-item generation order, so
+        same-instant updates replay in exactly the order the simulation
+        kernel's FIFO tie-break executes them.
+
+        Args:
+            duration: When set, truncate the replay to the first
+                ``duration`` simulated seconds of each trace.
+        """
+        schedule: list[tuple[float, int, float]] = []
+        for item_id, trace in self.setup.traces.items():
+            changes = trace.changes()
+            t_end = (
+                float(trace.times[0]) + duration if duration is not None else None
+            )
+            # Index 0 is the priming value everyone already holds.
+            for t, v in zip(changes.times[1:], changes.values[1:]):
+                if t_end is not None and float(t) > t_end:
+                    break
+                schedule.append((float(t), item_id, float(v)))
+        schedule.sort(key=lambda entry: entry[0])
+        return schedule
+
+
+def _client_node_base(setup: SimulationSetup) -> int:
+    """First transport node id free for clients (above the topology)."""
+    return int(setup.network.routing.dist_ms.shape[0])
+
+
+def build_live_network(
+    config: SimulationConfig,
+    clients: ClientPopulation | None = None,
+    setup: SimulationSetup | None = None,
+) -> LiveNetwork:
+    """Assemble the live network for an unchanged simulation config.
+
+    The build reuses :func:`~repro.engine.builder.build_setup` -- same
+    topology, traces, profiles and LeLA ``d3g`` as a simulation of the
+    same config -- then instantiates one sans-io node per graph member
+    with a shared :class:`~repro.core.dissemination.filtering.EdgeFilter`
+    per service edge (and the
+    :class:`~repro.core.dissemination.filtering.SourceTagger` when the
+    centralised policy runs).
+
+    Args:
+        config: The run's full parameterisation.  Must be churn-free
+            (live membership is static for now) and loss-free (the
+            transports do not inject message loss).
+        clients: Optional end-client population to attach; each client
+            becomes a dependent of its repository, filtered at its own
+            tolerance.
+        setup: Optional prebuilt setup for exactly this config (skips
+            rebuilding the topology/traces/``d3g``; the loadgen path
+            shares one build across population generation and the run).
+
+    Raises:
+        ConfigurationError: on churn or loss-injection configs, or
+            clients attached to unknown repositories.
+    """
+    if config.churn is not None:
+        raise ConfigurationError(
+            "the live network runs static membership; strip the churn "
+            "schedule from the config before running live"
+        )
+    if config.message_loss_probability > 0.0:
+        raise ConfigurationError(
+            "the live network does not inject message loss; run with "
+            "message_loss_probability=0"
+        )
+    if setup is None:
+        setup = build_setup(config)
+    counters = CostCounters()
+    comp_delay_s = config.comp_delay_ms / 1000.0
+    graph = setup.graph
+    source = setup.source
+
+    tagger: SourceTagger | None = None
+    if config.policy == "centralized":
+        tagger = SourceTagger()
+
+    source_node = SourceNode(source, comp_delay_s, counters, tagger=tagger)
+    repositories: dict[int, RepositoryNode] = {
+        node: RepositoryNode(
+            node, comp_delay_s, counters, receive_c=dict(state.receive_c)
+        )
+        for node, state in graph.nodes.items()
+        if node != source
+    }
+
+    # Wire the d3g exactly as the engine's _prepare does: items in trace
+    # order, nodes in graph order, children in child-table order.
+    for item_id in setup.traces:
+        initial = setup.traces[item_id].initial_value
+        for node in graph.nodes:
+            children = graph.children_for_item(node, item_id)
+            if not children:
+                continue
+            sender = source_node if node == source else repositories[node]
+            for child, c_serve in children:
+                if tagger is not None:
+                    tagger.add_tolerance(item_id, c_serve, initial)
+                sender.add_edge(
+                    item_id,
+                    child,
+                    c_serve,
+                    EdgeFilter(config.policy, c_serve, initial),
+                    setup.network.delay_s(node, child),
+                )
+        for node, repo in repositories.items():
+            if item_id in repo.receive_c:
+                repo.deliveries[item_id] = [(0.0, initial)]
+
+    client_nodes: dict[int, ClientNode] = {}
+    if clients is not None and len(clients):
+        base = _client_node_base(setup)
+        for offset, client in enumerate(clients.clients):
+            repo = repositories.get(client.repository)
+            if repo is None:
+                raise ConfigurationError(
+                    f"client {client.client_id} attaches to unknown "
+                    f"repository {client.repository}"
+                )
+            node_id = base + offset
+            client_node = ClientNode(
+                node=node_id,
+                client_id=client.client_id,
+                repository=client.repository,
+                requirements=dict(client.requirements),
+            )
+            for item_id, tolerance in sorted(client.requirements.items()):
+                trace = setup.traces.get(item_id)
+                if trace is None:
+                    raise ConfigurationError(
+                        f"client {client.client_id} wants unknown item {item_id}"
+                    )
+                client_node.deliveries[item_id] = [(0.0, trace.initial_value)]
+                if item_id not in repo.receive_c:
+                    # The repository does not carry the item; the client
+                    # stays on the priming value and the requirement-met
+                    # report will flag it.
+                    continue
+                repo.add_edge(
+                    item_id,
+                    node_id,
+                    tolerance,
+                    # Client service is repository-local filtering: the
+                    # Eq. (3) + Eq. (7) test at the client's tolerance,
+                    # whatever policy runs in the repository plane
+                    # (clients are invisible to the source's tagging).
+                    EdgeFilter("distributed", tolerance, trace.initial_value),
+                    link_delay_s=0.0,
+                    is_client=True,
+                )
+            client_nodes[node_id] = client_node
+    return LiveNetwork(setup, counters, source_node, repositories, client_nodes)
+
+
+def _score(
+    network: LiveNetwork, duration: float | None
+) -> tuple[FidelityAccumulator, dict[tuple[int, int], float], float]:
+    """Observed fidelity from the delivery logs, sim-identically."""
+    accumulator = FidelityAccumulator()
+    per_pair: dict[tuple[int, int], float] = {}
+    span = 0.0
+    for item_id, trace in network.setup.traces.items():
+        item_span = float(trace.times[-1] - trace.times[0])
+        if duration is not None:
+            item_span = min(item_span, duration)
+        span = max(span, item_span)
+    for repo, profile in network.setup.profiles.items():
+        node = network.repositories[repo]
+        for item_id, c_own in profile.requirements.items():
+            trace = network.setup.traces[item_id]
+            log = node.deliveries[item_id]
+            t0 = float(trace.times[0])
+            t1 = float(trace.times[-1])
+            if duration is not None:
+                t1 = min(t1, t0 + duration)
+            loss = loss_of_fidelity(
+                trace.times,
+                trace.values,
+                [entry[0] for entry in log],
+                [entry[1] for entry in log],
+                c_own,
+                t_start=t0,
+                t_end=t1,
+            )
+            accumulator.add(repo, item_id, loss)
+            per_pair[(repo, item_id)] = loss
+    return accumulator, per_pair, span
+
+
+def _score_clients(
+    network: LiveNetwork, duration: float | None
+) -> dict[int, dict[int, float]]:
+    """Observed per-client loss at each client's own tolerance."""
+    observed: dict[int, dict[int, float]] = {}
+    for client_node in network.clients.values():
+        per_item: dict[int, float] = {}
+        for item_id, tolerance in sorted(client_node.requirements.items()):
+            trace = network.setup.traces[item_id]
+            log = client_node.deliveries[item_id]
+            t0 = float(trace.times[0])
+            t1 = float(trace.times[-1])
+            if duration is not None:
+                t1 = min(t1, t0 + duration)
+            per_item[item_id] = loss_of_fidelity(
+                trace.times,
+                trace.values,
+                [entry[0] for entry in log],
+                [entry[1] for entry in log],
+                tolerance,
+                t_start=t0,
+                t_end=t1,
+            )
+        observed[client_node.client_id] = per_item
+    return observed
+
+
+def run_live(
+    config: SimulationConfig,
+    transport: str = "inprocess",
+    *,
+    duration: float | None = None,
+    time_scale: float = 60.0,
+    jitter_ms: float = 0.0,
+    quiesce_timeout_s: float = 30.0,
+    clients: ClientPopulation | None = None,
+    network: LiveNetwork | None = None,
+) -> LiveRunResult:
+    """Build, run and score one live network end to end.
+
+    Args:
+        config: The run's full parameterisation (identical to what a
+            simulation takes).
+        transport: ``inprocess`` (deterministic virtual time) or
+            ``tcp`` (localhost sockets).
+        duration: Optional truncation of the replay to the first
+            ``duration`` simulated seconds (fidelity is scored over the
+            truncated window).
+        time_scale: Simulated seconds per wall second (TCP only).
+        jitter_ms: Seeded per-delivery jitter bound (in-process only).
+        quiesce_timeout_s: Wall seconds TCP waits for in-flight
+            messages after the replay before counting them as drops.
+        clients: Optional end-client population to attach (ignored when
+            ``network`` is given).
+        network: Optional prebuilt network for exactly this config.
+    """
+    if duration is not None and duration <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration!r}")
+    if network is None:
+        network = build_live_network(config, clients=clients)
+    driver = make_transport(
+        transport,
+        seed=config.seed,
+        jitter_ms=jitter_ms,
+        time_scale=time_scale,
+        quiesce_timeout_s=quiesce_timeout_s,
+    )
+    start = time.perf_counter()
+    stats: TransportStats = driver.run(network, duration=duration)
+    wall = time.perf_counter() - start
+
+    accumulator, per_pair, span = _score(network, duration)
+    extras: dict = {
+        "per_pair_loss": per_pair,
+        "workload": config.workload.name,
+        "policy": config.policy,
+    }
+    if network.clients:
+        extras["client_loss"] = _score_clients(network, duration)
+        extras["client_messages"] = sum(
+            node.client_messages
+            for node in (network.source_node, *network.repositories.values())
+        )
+    return LiveRunResult(
+        loss_of_fidelity=accumulator.system_loss(),
+        per_repository_loss=accumulator.per_repository(),
+        counters=network.counters,
+        tree_stats=network.setup.graph.stats(),
+        effective_degree=network.setup.effective_degree,
+        avg_comm_delay_ms=network.setup.avg_comm_delay_ms,
+        sim_span_s=span,
+        transport=driver.name,
+        wall_seconds=wall,
+        sent=stats.sent,
+        delivered=stats.delivered,
+        dropped=stats.dropped,
+        extras=extras,
+    )

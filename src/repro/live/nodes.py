@@ -1,0 +1,233 @@
+"""Sans-io node logic of the live repository network.
+
+A node consumes protocol messages and emits :class:`Outbound`
+envelopes; it never touches a socket or a clock directly.  The same
+node objects are therefore driven by both transports -- the
+deterministic virtual-time driver and the asyncio TCP driver
+(:mod:`repro.live.transport`) -- and by tests, without any divergence
+in dissemination behaviour.
+
+The coherency decisions are exactly the simulator's: every service
+edge holds an :class:`~repro.core.dissemination.filtering.EdgeFilter`
+and the source holds a :class:`~repro.core.dissemination.filtering.
+SourceTagger` when the centralised policy runs -- the same shared code
+path the :class:`~repro.core.dissemination.base.DisseminationPolicy`
+subclasses route through.  Timing semantics also mirror the engine:
+each forwarded copy costs ``comp_delay`` of serialised server time at
+the sending node (a :class:`~repro.sim.queueing.FifoStation`) before it
+leaves, then travels the end-to-end network delay.
+
+Client service: an attached client is a dependent of its repository,
+filtered per (client, item) with the repository-local Eq. (3) + Eq. (7)
+test at the client's own tolerance (regardless of the repository-plane
+policy -- clients are invisible to the source, so tag pruning cannot
+cover them).  Client traffic is counted separately from the
+repository-plane :class:`~repro.core.metrics.CostCounters` so live
+message counts stay comparable with the simulator's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dissemination.filtering import EdgeFilter, SourceTagger
+from repro.core.metrics import CostCounters
+from repro.live.protocol import Update
+from repro.sim.queueing import FifoStation
+
+__all__ = ["Outbound", "Edge", "SourceNode", "RepositoryNode", "ClientNode"]
+
+
+@dataclass(frozen=True)
+class Outbound:
+    """One message handed to the transport for delivery.
+
+    Attributes:
+        dst: Destination node id.
+        update: The wire message.
+        arrival_s: *Absolute* simulated time the message should arrive
+            (sender-side queueing and link delay already included).
+            Absolute rather than relative so the virtual-time transport
+            schedules the exact float the simulation engine computes --
+            ``now + (arrival - now)`` and ``arrival`` differ by an ULP.
+    """
+
+    dst: int
+    update: Update
+    arrival_s: float
+
+
+@dataclass
+class Edge:
+    """One service edge a node pushes an item over."""
+
+    child: int
+    c_serve: float
+    filter: EdgeFilter
+    link_delay_s: float
+    is_client: bool = False
+
+
+class _ForwardingNode:
+    """Shared forwarding machinery of the source and the repositories."""
+
+    def __init__(self, node: int, comp_delay_s: float, counters: CostCounters) -> None:
+        self.node = node
+        self.comp_delay_s = comp_delay_s
+        self.counters = counters
+        self.station = FifoStation(name=f"live-node{node}")
+        #: item_id -> service edges, in ``d3g`` child order.
+        self.edges: dict[int, list[Edge]] = {}
+        #: Client-plane messages sent (kept out of ``counters``).
+        self.client_messages = 0
+
+    def add_edge(
+        self,
+        item_id: int,
+        child: int,
+        c_serve: float,
+        filter: EdgeFilter,
+        link_delay_s: float,
+        is_client: bool = False,
+    ) -> None:
+        self.edges.setdefault(item_id, []).append(
+            Edge(child, c_serve, filter, link_delay_s, is_client)
+        )
+
+    def _forward(
+        self,
+        item_id: int,
+        value: float,
+        tag: float | None,
+        now: float,
+        parent_receive_c: float,
+        seq: int,
+        is_source: bool,
+    ) -> list[Outbound]:
+        out: list[Outbound] = []
+        for edge in self.edges.get(item_id, ()):
+            if edge.is_client:
+                forward = edge.filter.decide(value, parent_receive_c, None)
+            else:
+                forward = edge.filter.decide(value, parent_receive_c, tag)
+                self.counters.record_check(self.node, is_source=is_source)
+            if not forward:
+                continue
+            departure = self.station.submit(now, self.comp_delay_s)
+            if edge.is_client:
+                self.client_messages += 1
+            else:
+                self.counters.record_message(self.node, is_source=is_source)
+            out.append(
+                Outbound(
+                    dst=edge.child,
+                    update=Update(
+                        item_id=item_id,
+                        value=value,
+                        tag=tag,
+                        seq=seq,
+                        src=self.node,
+                    ),
+                    arrival_s=departure + edge.link_delay_s,
+                )
+            )
+        return out
+
+
+class SourceNode(_ForwardingNode):
+    """Replays the workload: examines fresh updates and pushes them.
+
+    For the centralised policy the node holds the shared
+    :class:`SourceTagger`; the other policies pass every update through
+    untagged, exactly like their ``at_source`` hooks.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        comp_delay_s: float,
+        counters: CostCounters,
+        tagger: SourceTagger | None = None,
+    ) -> None:
+        super().__init__(node, comp_delay_s, counters)
+        self.tagger = tagger
+        self._seq = 0
+
+    def on_update(self, item_id: int, value: float, now: float) -> list[Outbound]:
+        """Handle one fresh workload update at the source."""
+        self._seq += 1
+        tag: float | None = None
+        if self.tagger is not None:
+            decision = self.tagger.examine(item_id, value)
+            if decision.checks:
+                self.counters.record_check(
+                    self.node, is_source=True, count=decision.checks
+                )
+            if not decision.disseminate:
+                return []
+            tag = decision.tag
+        return self._forward(
+            item_id, value, tag, now, parent_receive_c=0.0, seq=self._seq,
+            is_source=True,
+        )
+
+
+class RepositoryNode(_ForwardingNode):
+    """One cooperating repository: refresh the local copy, filter, forward."""
+
+    def __init__(
+        self,
+        node: int,
+        comp_delay_s: float,
+        counters: CostCounters,
+        receive_c: dict[int, float],
+    ) -> None:
+        super().__init__(node, comp_delay_s, counters)
+        #: item_id -> coherency at which this node receives it (Eq. 7's c_p).
+        self.receive_c = dict(receive_c)
+        #: item_id -> [(arrival sim-time, value), ...]; primed by the harness.
+        self.deliveries: dict[int, list[tuple[float, float]]] = {}
+
+    def on_message(self, update: Update, now: float) -> list[Outbound]:
+        """Handle one pushed update: log it, then forward downstream."""
+        self.counters.record_delivery()
+        log = self.deliveries.get(update.item_id)
+        if log is not None:
+            log.append((now, update.value))
+        return self._forward(
+            update.item_id,
+            update.value,
+            update.tag,
+            now,
+            parent_receive_c=self.receive_c.get(update.item_id, 0.0),
+            seq=update.seq,
+            is_source=False,
+        )
+
+
+@dataclass
+class ClientNode:
+    """An attached end client: receives its filtered stream, measures.
+
+    Attributes:
+        node: Transport-level node id (outside the repository id space).
+        client_id: The :class:`~repro.core.clients.Client` this node
+            realises.
+        repository: The repository it reads from.
+        requirements: ``item_id -> c`` tolerances it needs.
+        deliveries: ``item_id -> [(arrival sim-time, value), ...]``;
+            primed by the harness, appended per received update.
+    """
+
+    node: int
+    client_id: int
+    repository: int
+    requirements: dict[int, float]
+    deliveries: dict[int, list[tuple[float, float]]] = field(default_factory=dict)
+
+    def on_message(self, update: Update, now: float) -> list[Outbound]:
+        """Record one received update; clients never forward."""
+        log = self.deliveries.get(update.item_id)
+        if log is not None:
+            log.append((now, update.value))
+        return []

@@ -1,0 +1,146 @@
+"""Wire protocol of the live repository network.
+
+Frames are length-prefixed JSON: a 4-byte big-endian unsigned length
+followed by exactly that many bytes of UTF-8 JSON.  JSON keeps the
+protocol dependency-free (the container ships no msgpack) while staying
+self-describing; floats round-trip exactly because Python's JSON
+encoder emits ``repr``-faithful doubles.
+
+Message types (the ``"type"`` field):
+
+- ``update`` -- one data-item update flowing down the ``d3g``
+  (:class:`Update`);
+- ``bye`` -- orderly teardown marker sent by the harness
+  (:class:`Bye`).
+
+The framing helpers are transport-agnostic: :func:`encode_message`
+returns the full frame, :func:`decode_payload` parses one frame body,
+and :func:`read_message` is the asyncio stream reader used by the TCP
+transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from dataclasses import asdict, dataclass
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ProtocolError",
+    "Update",
+    "Bye",
+    "Message",
+    "encode_message",
+    "decode_payload",
+    "read_message",
+    "MAX_FRAME_BYTES",
+]
+
+#: Upper bound on one frame body; a live update is tens of bytes, so
+#: anything bigger means a corrupt or hostile stream.
+MAX_FRAME_BYTES = 1 << 20
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(ReproError):
+    """A malformed or oversized frame on a live connection."""
+
+
+@dataclass(frozen=True)
+class Update:
+    """One data-item update pushed over a service edge.
+
+    Attributes:
+        item_id: The data item.
+        value: The fresh value.
+        tag: The source tag threaded with the update (the centralised
+            policy's maximum violated tolerance; ``None`` otherwise).
+        seq: Source-assigned sequence number, unique per run -- lets
+            receivers and the harness correlate wire traffic with the
+            trace.
+        src: Node id of the sender (the serving node, not the source).
+    """
+
+    item_id: int
+    value: float
+    tag: float | None
+    seq: int
+    src: int
+
+    type: str = "update"
+
+
+@dataclass(frozen=True)
+class Bye:
+    """Orderly end-of-stream marker; receivers drain and close."""
+
+    src: int
+
+    type: str = "bye"
+
+
+Message = Update | Bye
+
+_DECODERS = {"update": Update, "bye": Bye}
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialise one message into a complete length-prefixed frame."""
+    body = json.dumps(asdict(message), separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> Message:
+    """Parse one frame body back into its message dataclass.
+
+    Raises:
+        ProtocolError: on non-JSON bodies, unknown types, or field
+            mismatches.
+    """
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from None
+    if not isinstance(document, dict) or "type" not in document:
+        raise ProtocolError(f"frame body is not a tagged object: {document!r}")
+    kind = document.pop("type")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise ProtocolError(
+            f"unknown message type {kind!r}; known: {sorted(_DECODERS)}"
+        )
+    try:
+        return decoder(**document)
+    except TypeError as exc:
+        raise ProtocolError(f"bad {kind!r} fields: {exc}") from None
+
+
+async def read_message(reader: asyncio.StreamReader) -> Message | None:
+    """Read one framed message from an asyncio stream.
+
+    Returns ``None`` on a clean EOF at a frame boundary.
+
+    Raises:
+        ProtocolError: on a truncated frame or an oversized length
+            prefix.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-length-prefix") from None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    return decode_payload(body)

@@ -1,0 +1,328 @@
+"""Transports that drive the sans-io live network.
+
+Two implementations with one contract -- ``run(network, duration)``
+executes the network's workload replay and returns wire-level
+:class:`TransportStats` whose conservation invariant
+``sent == delivered + dropped`` always holds:
+
+- :class:`InProcessTransport` -- deterministic virtual time.  Delivery
+  events run on the same discrete-event kernel the simulator uses, with
+  the seeded topology delays (plus optional seeded jitter), so a run is
+  bit-reproducible for a fixed config seed.  This is the transport the
+  ``live_crosscheck`` experiment validates the simulator against.
+- :class:`TcpTransport` -- real localhost sockets.  Every node runs an
+  asyncio server speaking the length-prefixed JSON protocol of
+  :mod:`repro.live.protocol`; simulated time maps to the wall clock
+  through ``time_scale`` (simulated seconds per wall second).  Messages
+  still in flight when the quiescence timeout expires are counted as
+  drops, keeping the conservation invariant exact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.live.nodes import Outbound
+from repro.live.protocol import Bye, Update, encode_message, read_message
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (harness builds us)
+    from repro.live.harness import LiveNetwork
+
+__all__ = ["TransportStats", "InProcessTransport", "TcpTransport", "make_transport"]
+
+
+@dataclass
+class TransportStats:
+    """Wire-level accounting of one live run.
+
+    Attributes:
+        sent: Messages handed to the transport (repository plane and
+            client plane alike).
+        delivered: Messages that reached their destination node.
+        dropped: Messages the transport gave up on (TCP quiescence
+            timeout; always 0 in virtual time, which runs to drain).
+    """
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Messages sent but neither delivered nor dropped yet."""
+        return self.sent - self.delivered - self.dropped
+
+    @property
+    def conserved(self) -> bool:
+        """The invariant every run must end with."""
+        return self.sent == self.delivered + self.dropped
+
+
+class InProcessTransport:
+    """Virtual-time driver: deterministic, reproducible, fast.
+
+    Replays the workload on a fresh discrete-event kernel.  Event
+    ordering matches the simulation engine's (FIFO tie-breaks in
+    scheduling order), and optional delivery jitter is drawn from a
+    seeded stream, so two runs of the same network are bit-identical.
+    """
+
+    name = "inprocess"
+
+    def __init__(self, jitter_ms: float = 0.0, seed: int = 0) -> None:
+        if jitter_ms < 0:
+            raise ConfigurationError(f"jitter_ms must be >= 0, got {jitter_ms!r}")
+        self.jitter_ms = jitter_ms
+        self.seed = seed
+
+    def run(self, network: "LiveNetwork", duration: float | None = None) -> TransportStats:
+        stats = TransportStats()
+        kernel = Simulator()
+        jitter_rng = (
+            RandomStreams(self.seed).stream("live-jitter")
+            if self.jitter_ms > 0.0
+            else None
+        )
+
+        def dispatch(outs: list[Outbound]) -> None:
+            for out in outs:
+                stats.sent += 1
+                arrival = out.arrival_s
+                if jitter_rng is not None:
+                    arrival += jitter_rng.random() * self.jitter_ms / 1000.0
+                kernel.schedule_at(arrival, deliver, out)
+
+        def deliver(out: Outbound) -> None:
+            stats.delivered += 1
+            dispatch(network.node(out.dst).on_message(out.update, kernel.now))
+
+        def source_update(item_id: int, value: float) -> None:
+            dispatch(network.source_node.on_update(item_id, value, kernel.now))
+
+        for t, item_id, value in network.source_schedule(duration):
+            kernel.schedule_at(t, source_update, item_id, value)
+        kernel.run()
+        if not stats.conserved:  # defensive: a drained kernel cannot leak
+            raise SimulationError(
+                f"in-process transport leaked messages: {stats}"
+            )
+        return stats
+
+
+class TcpTransport:
+    """Localhost TCP driver: one asyncio server per node, real frames.
+
+    ``time_scale`` maps simulated seconds to wall seconds (``600`` runs
+    a 600 s trace in about one wall second).  The driver replays the
+    source schedule against the wall clock, realises each message's
+    simulated delay as a scheduled socket write, and after the replay
+    waits up to ``quiesce_timeout_s`` wall seconds for in-flight
+    messages to land; whatever remains is counted as dropped.
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        time_scale: float = 60.0,
+        quiesce_timeout_s: float = 30.0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if time_scale <= 0:
+            raise ConfigurationError(
+                f"time_scale must be positive, got {time_scale!r}"
+            )
+        if quiesce_timeout_s <= 0:
+            raise ConfigurationError(
+                f"quiesce_timeout_s must be positive, got {quiesce_timeout_s!r}"
+            )
+        self.time_scale = time_scale
+        self.quiesce_timeout_s = quiesce_timeout_s
+        self.host = host
+
+    def run(self, network: "LiveNetwork", duration: float | None = None) -> TransportStats:
+        return asyncio.run(self._main(network, duration))
+
+    async def _main(
+        self, network: "LiveNetwork", duration: float | None
+    ) -> TransportStats:
+        stats = TransportStats()
+        loop = asyncio.get_running_loop()
+        quiet = asyncio.Event()
+        replay_done = False
+        servers: dict[int, asyncio.Server] = {}
+        ports: dict[int, int] = {}
+        # (src is irrelevant to routing: one connection per destination.)
+        writers: dict[int, asyncio.StreamWriter] = {}
+        # Per destination: a due-time heap plus a wakeup event.  A plain
+        # FIFO would let one long-delay frame head-of-line-block frames
+        # from other senders that are due sooner; the heap realises each
+        # frame at its own due time, with an enqueue counter breaking
+        # ties in dispatch order (per-edge FIFO preserved).
+        send_heaps: dict[int, list[tuple[float, int, bytes]]] = {}
+        send_wakeups: dict[int, asyncio.Event] = {}
+        enqueue_counter = itertools.count()
+        sender_tasks: list[asyncio.Task] = []
+        handler_tasks: set[asyncio.Task] = set()
+        start_wall = loop.time()
+
+        def sim_now() -> float:
+            return (loop.time() - start_wall) * self.time_scale
+
+        def check_quiet() -> None:
+            if replay_done and stats.in_flight == 0:
+                quiet.set()
+
+        def dispatch(outs: list[Outbound]) -> None:
+            for out in outs:
+                stats.sent += 1
+                due_wall = start_wall + out.arrival_s / self.time_scale
+                heapq.heappush(
+                    send_heaps[out.dst],
+                    (due_wall, next(enqueue_counter), encode_message(out.update)),
+                )
+                send_wakeups[out.dst].set()
+
+        async def handle_node(node_id: int, reader: asyncio.StreamReader,
+                              writer: asyncio.StreamWriter) -> None:
+            task = asyncio.current_task()
+            if task is not None:
+                handler_tasks.add(task)
+            try:
+                while True:
+                    message = await read_message(reader)
+                    if message is None or isinstance(message, Bye):
+                        break
+                    assert isinstance(message, Update)
+                    outs = network.node(node_id).on_message(message, sim_now())
+                    dispatch(outs)
+                    stats.delivered += 1
+                    check_quiet()
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+        async def sender(dst: int) -> None:
+            heap = send_heaps[dst]
+            wakeup = send_wakeups[dst]
+            writer = writers[dst]
+            while True:
+                while not heap:
+                    wakeup.clear()
+                    await wakeup.wait()
+                due_wall = heap[0][0]
+                delay = due_wall - loop.time()
+                if delay > 0:
+                    # Sleep toward the earliest due frame, but wake early
+                    # if a new (possibly earlier-due) frame arrives.
+                    wakeup.clear()
+                    try:
+                        await asyncio.wait_for(wakeup.wait(), timeout=delay)
+                    except TimeoutError:
+                        pass
+                    continue  # re-evaluate the heap top either way
+                _due, _seq, frame = heapq.heappop(heap)
+                writer.write(frame)
+                await writer.drain()
+
+        try:
+            # One server per node, OS-assigned ports.
+            for node_id in network.all_node_ids():
+                server = await asyncio.start_server(
+                    lambda r, w, node_id=node_id: handle_node(node_id, r, w),
+                    self.host,
+                    0,
+                )
+                servers[node_id] = server
+                ports[node_id] = server.sockets[0].getsockname()[1]
+
+            # One eager connection + due-ordered sender task per destination.
+            for dst in sorted({dst for _src, dst in network.edge_pairs()}):
+                _reader, writer = await asyncio.open_connection(
+                    self.host, ports[dst]
+                )
+                writers[dst] = writer
+                send_heaps[dst] = []
+                send_wakeups[dst] = asyncio.Event()
+                sender_tasks.append(
+                    asyncio.create_task(sender(dst), name=f"live-send-{dst}")
+                )
+
+            # Replay the workload against the wall clock.
+            start_wall = loop.time()
+            for t, item_id, value in network.source_schedule(duration):
+                due = start_wall + t / self.time_scale
+                delay = due - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                dispatch(network.source_node.on_update(item_id, value, sim_now()))
+
+            replay_done = True
+            check_quiet()
+            try:
+                await asyncio.wait_for(quiet.wait(), timeout=self.quiesce_timeout_s)
+            except TimeoutError:
+                pass
+        finally:
+            for task in sender_tasks:
+                task.cancel()
+            await asyncio.gather(*sender_tasks, return_exceptions=True)
+            for writer in writers.values():
+                if not writer.is_closing():
+                    writer.write(encode_message(Bye(src=network.source_node.node)))
+                    try:
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            for server in servers.values():
+                server.close()
+                await server.wait_closed()
+            # Handlers drain their buffered frames on EOF; wait for them
+            # so the drop count below is final, not racing deliveries.
+            if handler_tasks:
+                done, pending = await asyncio.wait(handler_tasks, timeout=2.0)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    await asyncio.gather(*pending, return_exceptions=True)
+        # Whatever never landed is a drop; conservation stays exact.
+        stats.dropped = stats.sent - stats.delivered
+        return stats
+
+
+def make_transport(
+    name: str,
+    *,
+    seed: int = 0,
+    jitter_ms: float = 0.0,
+    time_scale: float = 60.0,
+    quiesce_timeout_s: float = 30.0,
+):
+    """Build a transport by registry name (``inprocess`` or ``tcp``).
+
+    Raises:
+        ConfigurationError: on an unknown transport name.
+    """
+    if name == InProcessTransport.name:
+        return InProcessTransport(jitter_ms=jitter_ms, seed=seed)
+    if name == TcpTransport.name:
+        return TcpTransport(time_scale=time_scale, quiesce_timeout_s=quiesce_timeout_s)
+    raise ConfigurationError(
+        f"unknown live transport {name!r}; choose from "
+        f"{[InProcessTransport.name, TcpTransport.name]}"
+    )

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core.clients import Client, ClientPopulation, derive_repository_profiles
+from repro.core.clients import (
+    Client,
+    ClientPopulation,
+    derive_repository_profiles,
+    requirement_report,
+)
 from repro.core.items import CoherencyMix, DataItem
 from repro.errors import ConfigurationError
 
@@ -95,6 +100,118 @@ def test_generate_validation():
             [1], make_items(), CoherencyMix(50.0), np.random.default_rng(0),
             subscription_probability=0.0,
         )
+
+
+def test_derivation_most_stringent_tie_and_order_independence():
+    """Aggregation edge cases: exact ties and client-order invariance."""
+    tied = ClientPopulation(
+        clients=[
+            Client(0, repository=1, requirements={0: 0.2}),
+            Client(1, repository=1, requirements={0: 0.2}),
+        ]
+    )
+    assert derive_repository_profiles(tied)[1].requirements == {0: 0.2}
+
+    forward = ClientPopulation(
+        clients=[
+            Client(0, repository=1, requirements={0: 0.5, 1: 0.3}),
+            Client(1, repository=1, requirements={0: 0.05}),
+            Client(2, repository=2, requirements={1: 0.7}),
+        ]
+    )
+    backward = ClientPopulation(clients=list(reversed(forward.clients)))
+    assert {
+        r: p.requirements for r, p in derive_repository_profiles(forward).items()
+    } == {
+        r: p.requirements for r, p in derive_repository_profiles(backward).items()
+    }
+
+
+def test_derivation_single_client_is_identity():
+    pop = ClientPopulation(
+        clients=[Client(0, repository=3, requirements={0: 0.4, 2: 0.1})]
+    )
+    profiles = derive_repository_profiles(pop)
+    assert list(profiles) == [3]
+    assert profiles[3].requirements == {0: 0.4, 2: 0.1}
+    # The derived profile is a copy of no one client's dict identity-wise
+    # but equals the single client's requirements value-wise.
+    assert profiles[3].requirements == pop.clients[0].requirements
+
+
+def test_round_trip_clients_profiles_achieved_report():
+    """Satellite round trip: clients -> derived profiles -> achieved
+    tolerances -> per-client requirement-met report."""
+    pop = ClientPopulation(
+        clients=[
+            Client(0, repository=1, requirements={0: 0.1, 1: 0.5}),
+            Client(1, repository=1, requirements={0: 0.4}),
+            Client(2, repository=2, requirements={1: 0.2}),
+            Client(3, repository=2, requirements={2: 0.3}),
+        ]
+    )
+    profiles = derive_repository_profiles(pop)
+    # Most-stringent aggregation per (repository, item).
+    assert profiles[1].requirements == {0: 0.1, 1: 0.5}
+    assert profiles[2].requirements == {1: 0.2, 2: 0.3}
+
+    # A deployment that achieves exactly the derived requirements meets
+    # every client (the derived value is the minimum over clients).
+    achieved = {
+        (repo, item_id): c
+        for repo, profile in profiles.items()
+        for item_id, c in profile.requirements.items()
+    }
+    report = requirement_report(pop, achieved)
+    assert report == {
+        0: {0: True, 1: True},
+        1: {0: True},
+        2: {1: True},
+        3: {2: True},
+    }
+
+    # Degrade repository 1's item 0 to 0.25: the stringent client (0.1)
+    # loses service, the lax one (0.4) keeps it.
+    achieved[(1, 0)] = 0.25
+    degraded = requirement_report(pop, achieved)
+    assert degraded[0] == {0: False, 1: True}
+    assert degraded[1] == {0: True}
+
+    # An item the repository achieves nothing for is unmet.
+    del achieved[(2, 2)]
+    assert requirement_report(pop, achieved)[3] == {2: False}
+
+
+def test_requirement_report_boundary_is_inclusive():
+    """Achieving exactly the client's tolerance meets it (c <= need)."""
+    pop = ClientPopulation(
+        clients=[Client(0, repository=1, requirements={0: 0.3})]
+    )
+    assert requirement_report(pop, {(1, 0): 0.3})[0] == {0: True}
+    assert requirement_report(pop, {(1, 0): 0.3 + 1e-6})[0] == {0: False}
+
+
+def test_requirement_report_agrees_with_satisfied_by():
+    rng = np.random.default_rng(7)
+    pop = ClientPopulation.generate(
+        repositories=[1, 2, 3],
+        items=make_items(),
+        mix=CoherencyMix(80.0),
+        rng=rng,
+    )
+    achieved = {
+        (repo, item_id): float(rng.uniform(0.01, 1.0))
+        for repo in pop.repositories()
+        for item_id in range(5)
+    }
+    report = requirement_report(pop, achieved)
+    for (repo, item_id), c in achieved.items():
+        satisfied = {cl.client_id for cl in pop.satisfied_by(repo, item_id, c)}
+        for client in pop.at_repository(repo):
+            if item_id in client.requirements:
+                assert report[client.client_id][item_id] == (
+                    client.client_id in satisfied
+                )
 
 
 def test_generated_derivation_feeds_lela():

@@ -1,0 +1,100 @@
+"""Unit tests for the shared coherency-filter helpers."""
+
+import pytest
+
+from repro.core.dissemination.filtering import (
+    EdgeFilter,
+    SourceTagger,
+    forward_centralized,
+    forward_distributed,
+    forward_eq3_only,
+    forward_flooding,
+    quantise_tolerance,
+    tag_for_update,
+)
+from repro.errors import ConfigurationError, DisseminationError
+
+
+def test_forward_distributed_eq3_and_eq7():
+    # Eq. (3): plain violation.
+    assert forward_distributed(1.6, 1.0, c_serve=0.5, parent_receive_c=0.0)
+    assert not forward_distributed(1.4, 1.0, c_serve=0.5, parent_receive_c=0.0)
+    # Eq. (7): slack shrunk below the parent's receive coherency.
+    assert forward_distributed(1.4, 1.0, c_serve=0.5, parent_receive_c=0.3)
+    assert not forward_distributed(1.1, 1.0, c_serve=0.5, parent_receive_c=0.3)
+
+
+def test_forward_eq3_only_ignores_parent_coherency():
+    assert not forward_eq3_only(1.4, 1.0, c_serve=0.5)
+    assert forward_eq3_only(1.6, 1.0, c_serve=0.5)
+
+
+def test_forward_flooding_skips_repeats_only():
+    assert forward_flooding(1.0, 2.0)
+    assert not forward_flooding(2.0, 2.0)
+
+
+def test_forward_centralized_prunes_by_tag():
+    assert forward_centralized(0.3, tag=0.3)
+    assert forward_centralized(0.1, tag=0.3)
+    assert not forward_centralized(0.5, tag=0.3)
+
+
+def test_tag_for_update_picks_max_violated():
+    last = {0.1: 1.0, 0.3: 1.0, 0.5: 1.0}
+    assert tag_for_update(1.35, [0.1, 0.3, 0.5], last) == 0.3
+    assert tag_for_update(1.05, [0.1, 0.3, 0.5], last) is None
+    assert tag_for_update(2.0, [0.1, 0.3, 0.5], last) == 0.5
+
+
+def test_quantise_collapses_float_dust():
+    assert quantise_tolerance(0.1 + 0.2) == quantise_tolerance(0.3)
+
+
+def test_edge_filter_rejects_unknown_policy():
+    with pytest.raises(ConfigurationError):
+        EdgeFilter("gossip", 0.5, 1.0)
+
+
+def test_edge_filter_updates_state_only_on_forward():
+    filt = EdgeFilter("distributed", 0.5, 1.0)
+    assert not filt.decide(1.3)
+    assert filt.last_sent == 1.0  # suppressed: state untouched
+    assert filt.decide(1.6)
+    assert filt.last_sent == 1.6  # forwarded: state moved
+
+
+def test_edge_filter_centralized_requires_tag():
+    filt = EdgeFilter("centralized", 0.5, 1.0)
+    with pytest.raises(DisseminationError):
+        filt.decide(2.0)
+    assert filt.decide(2.0, tag=0.5)
+
+
+def test_source_tagger_tracks_unique_tolerances():
+    tagger = SourceTagger()
+    tagger.add_tolerance(0, 0.3, 1.0)
+    tagger.add_tolerance(0, 0.1, 1.0)
+    tagger.add_tolerance(0, 0.3, 1.0)  # duplicate: idempotent
+    assert tagger.unique_tolerances(0) == [0.1, 0.3]
+    tagger.remove_tolerance(0, 0.1)
+    assert tagger.unique_tolerances(0) == [0.3]
+    tagger.remove_tolerance(0, 0.1)  # idempotent
+
+
+def test_source_tagger_examination_marks_covered_tolerances():
+    tagger = SourceTagger()
+    for c in (0.1, 0.3, 0.5):
+        tagger.add_tolerance(0, c, 1.0)
+    decision = tagger.examine(0, 1.35)
+    assert decision.disseminate and decision.tag == 0.3
+    assert decision.checks == 3
+    # 1.35 was recorded for 0.1 and 0.3 but not 0.5: a follow-up 1.3
+    # violates nothing.
+    follow_up = tagger.examine(0, 1.3)
+    assert not follow_up.disseminate and follow_up.checks == 3
+
+
+def test_source_tagger_without_tolerances_drops_updates():
+    decision = SourceTagger().examine(7, 123.0)
+    assert not decision.disseminate and decision.checks == 0

@@ -29,6 +29,7 @@ def test_registry_knows_every_experiment_in_paper_order():
         "hybrid_tradeoff",
         "churn_resilience",
         "workload_sensitivity",
+        "live_crosscheck",
     ]
 
 

@@ -1,0 +1,82 @@
+"""The live_crosscheck experiment: registry wiring and agreement."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import api
+
+pytestmark = pytest.mark.live
+
+#: Shrunk grid so the cross-check runs in about a second.
+TINY = dict(n_repositories=10, n_routers=30, n_items=3, trace_samples=250)
+
+
+def _ctx(**extra_params):
+    spec = api.get_experiment("live_crosscheck")
+    return spec, api.ExperimentContext(
+        preset="tiny",
+        params=spec.resolve_params(extra_params),
+        overrides=TINY,
+    )
+
+
+def test_registered_with_policy_parameters():
+    spec = api.get_experiment("live_crosscheck")
+    assert spec.description
+    names = [p.name for p in spec.params]
+    assert names == ["policies", "fidelity_tol", "message_tol"]
+
+
+def test_plan_is_one_config_per_policy():
+    spec, ctx = _ctx()
+    plan = spec.plan(ctx)
+    assert [c.policy for c in plan] == ["distributed", "centralized"]
+    assert all(c.n_repositories == TINY["n_repositories"] for c in plan)
+
+
+def test_crosscheck_agrees_and_reports(tmp_path):
+    payload = api.run_experiment(
+        "live_crosscheck", preset="tiny", overrides=TINY
+    )
+    assert payload["agreement"] is True
+    for policy in ("distributed", "centralized"):
+        row = payload["policies"][policy]
+        assert row["conserved"] is True
+        assert row["live_sent"] == row["live_delivered"] + row["live_dropped"]
+        assert row["delta_loss_pp"] <= payload["fidelity_tol_pp"]
+        assert row["message_delta_pct"] <= payload["message_tol_pct"]
+        # The two planes share one code path: agreement is exact today.
+        assert row["delta_loss_pp"] == 0.0
+        assert row["sim_messages"] == row["live_messages"]
+    # The payload is artifact-serialisable.
+    path = api.write_artifact(tmp_path, "live_crosscheck", "tiny", {}, payload)
+    document = json.loads(path.read_text())
+    assert document["payload"]["agreement"] is True
+
+
+def test_crosscheck_single_policy_param():
+    payload = api.run_experiment(
+        "live_crosscheck",
+        preset="tiny",
+        overrides=TINY,
+        params={"policies": "flooding"},
+    )
+    assert list(payload["policies"]) == ["flooding"]
+
+
+def test_crosscheck_raises_on_disagreement():
+    spec, ctx = _ctx(fidelity_tol=-1.0)  # impossible tolerance
+    results = api.execute_plan(spec.plan(ctx))
+    with pytest.raises(SimulationError):
+        spec.collect(ctx, tuple(results))
+
+
+def test_render_mentions_every_policy():
+    payload = api.run_experiment(
+        "live_crosscheck", preset="tiny", overrides=TINY
+    )
+    text = api.get_experiment("live_crosscheck").render(payload)
+    assert "distributed" in text and "centralized" in text
+    assert "agreement" in text

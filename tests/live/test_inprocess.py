@@ -1,0 +1,133 @@
+"""The deterministic in-process live network vs the simulator."""
+
+import pytest
+
+from repro.engine.churn import schedule_for_config
+from repro.engine.config import SCALE_PRESETS, SimulationConfig
+from repro.engine.simulation import run_simulation
+from repro.errors import ConfigurationError
+from repro.experiments.cache import fingerprint
+from repro.live.harness import build_live_network, run_live
+from repro.errors import SimulationError
+
+pytestmark = pytest.mark.live
+
+#: Small enough for sub-second runs, large enough to queue and filter.
+CONFIG = SimulationConfig(
+    n_repositories=12, n_routers=40, n_items=4, trace_samples=300
+)
+
+
+def _result_digest(result):
+    """A content digest over everything a run produced."""
+    return fingerprint(
+        (
+            result.loss_of_fidelity,
+            tuple(sorted(result.per_repository_loss.items())),
+            result.counters,
+            result.sent,
+            result.delivered,
+            result.dropped,
+            tuple(sorted(result.extras["per_pair_loss"].items())),
+        )
+    )
+
+
+def test_inprocess_run_is_bit_deterministic():
+    first = run_live(CONFIG)
+    second = run_live(CONFIG)
+    assert _result_digest(first) == _result_digest(second)
+
+
+def test_inprocess_jitter_is_seeded_and_deterministic():
+    first = run_live(CONFIG, jitter_ms=5.0)
+    second = run_live(CONFIG, jitter_ms=5.0)
+    assert _result_digest(first) == _result_digest(second)
+    # And jitter genuinely perturbs the run relative to no jitter.
+    assert _result_digest(first) != _result_digest(run_live(CONFIG))
+
+
+@pytest.mark.parametrize(
+    "policy", ["distributed", "centralized", "flooding", "eq3_only"]
+)
+def test_live_matches_simulator_exactly(policy):
+    """Same d3g, same filter, same queueing: sim and live agree bit
+    for bit on fidelity, per-pair losses and every counter."""
+    config = CONFIG.with_(policy=policy)
+    sim = run_simulation(config)
+    live = run_live(config)
+    assert live.loss_of_fidelity == sim.loss_of_fidelity
+    assert live.per_repository_loss == sim.per_repository_loss
+    assert live.counters.messages == sim.counters.messages
+    assert live.counters.source_checks == sim.counters.source_checks
+    assert live.counters.repository_checks == sim.counters.repository_checks
+    assert live.counters.per_node_messages == sim.counters.per_node_messages
+    assert live.extras["per_pair_loss"] == sim.extras["per_pair_loss"]
+
+
+def test_message_conservation_holds():
+    result = run_live(CONFIG)
+    assert result.conserved
+    assert result.dropped == 0
+    assert result.delivered == result.counters.deliveries
+    assert result.sent == result.counters.messages
+
+
+def test_duration_truncates_replay_and_scoring_window():
+    full = run_live(CONFIG)
+    half = run_live(CONFIG, duration=full.sim_span_s / 2.0)
+    assert half.sim_span_s == pytest.approx(full.sim_span_s / 2.0)
+    assert 0 < half.sent < full.sent
+    assert half.conserved
+
+
+def test_result_is_simulator_shaped():
+    result = run_live(CONFIG)
+    sim = run_simulation(CONFIG)
+    for field in (
+        "loss_of_fidelity",
+        "per_repository_loss",
+        "counters",
+        "tree_stats",
+        "effective_degree",
+        "avg_comm_delay_ms",
+        "sim_span_s",
+    ):
+        assert type(getattr(result, field)) is type(getattr(sim, field))
+    assert result.fidelity == pytest.approx(100.0 - result.loss_of_fidelity)
+    assert result.transport == "inprocess"
+    assert result.wall_seconds > 0.0
+
+
+def test_live_rejects_churn_configs():
+    config = SCALE_PRESETS["tiny"]
+    churned = config.with_(
+        churn=schedule_for_config(config, joins=1, departs=1, updates=1)
+    )
+    with pytest.raises(ConfigurationError):
+        build_live_network(churned)
+
+
+def test_live_rejects_loss_injection():
+    with pytest.raises(ConfigurationError):
+        build_live_network(CONFIG.with_(message_loss_probability=0.1))
+
+
+def test_live_rejects_unknown_transport_and_bad_duration():
+    with pytest.raises(ConfigurationError):
+        run_live(CONFIG, "carrier-pigeon")
+    with pytest.raises(ConfigurationError):
+        run_live(CONFIG, duration=-1.0)
+
+
+def test_inprocess_transport_cannot_leak(monkeypatch):
+    """The defensive conservation check in the virtual-time driver."""
+    from repro.live import transport as transport_module
+
+    monkeypatch.setattr(
+        transport_module.TransportStats,
+        "conserved",
+        property(lambda self: False),
+    )
+    with pytest.raises(SimulationError):
+        run_live(CONFIG)

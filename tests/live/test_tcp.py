@@ -1,0 +1,55 @@
+"""Localhost TCP smoke: real sockets, real frames, conserved messages."""
+
+import socket
+
+import pytest
+
+from repro.engine.config import SimulationConfig
+from repro.live.harness import run_live
+from repro.live.transport import TcpTransport, make_transport
+from repro.errors import ConfigurationError
+
+pytestmark = pytest.mark.live
+
+#: Deliberately small: the TCP smoke checks plumbing, not statistics.
+CONFIG = SimulationConfig(
+    n_repositories=5, n_routers=15, n_items=2, trace_samples=80
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _require_localhost_sockets():
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            probe.bind(("127.0.0.1", 0))
+        finally:
+            probe.close()
+    except OSError as exc:  # pragma: no cover - sandboxed environments
+        pytest.skip(f"cannot bind localhost sockets here: {exc}")
+
+
+def test_tcp_smoke_runs_and_conserves():
+    result = run_live(CONFIG, "tcp", duration=40.0, time_scale=800.0)
+    assert result.transport == "tcp"
+    assert result.sent > 0
+    assert result.conserved
+    # A healthy smoke delivers everything inside the quiescence window.
+    assert result.dropped == 0
+    assert result.delivered == result.sent
+
+
+def test_tcp_observes_fidelity_from_real_deliveries():
+    result = run_live(CONFIG, "tcp", duration=40.0, time_scale=800.0)
+    # Every repository scored; observed loss is a valid percentage.
+    assert len(result.per_repository_loss) == CONFIG.n_repositories
+    assert 0.0 <= result.loss_of_fidelity <= 100.0
+
+
+def test_tcp_transport_validates_parameters():
+    with pytest.raises(ConfigurationError):
+        TcpTransport(time_scale=0.0)
+    with pytest.raises(ConfigurationError):
+        TcpTransport(quiesce_timeout_s=0.0)
+    with pytest.raises(ConfigurationError):
+        make_transport("udp")

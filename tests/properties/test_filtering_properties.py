@@ -1,0 +1,98 @@
+"""Property tests: sim policies and the live filters agree everywhere.
+
+The live repository network and the simulation policies share the pure
+decision code in :mod:`repro.core.dissemination.filtering`; these
+properties pin the contract the ``live_crosscheck`` experiment rests
+on -- for *every* (update, edge) pair, a
+:class:`~repro.core.dissemination.base.DisseminationPolicy` and the
+equivalent per-edge :class:`~repro.core.dissemination.filtering.
+EdgeFilter` (plus :class:`~repro.core.dissemination.filtering.
+SourceTagger` at the source) make identical decisions over identical
+update sequences.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.dissemination import make_policy
+from repro.core.dissemination.filtering import (
+    FILTERED_POLICIES,
+    EdgeFilter,
+    SourceTagger,
+)
+
+_value = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+_tolerance = st.floats(
+    min_value=0.01, max_value=5.0, allow_nan=False, allow_infinity=False
+)
+
+#: (c_serve of each edge, parent receive coherency, update values).
+_edge_case = st.tuples(
+    st.lists(_tolerance, min_size=1, max_size=4),
+    st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    st.lists(_value, min_size=1, max_size=30),
+)
+
+
+@st.composite
+def _scenarios(draw):
+    policy = draw(st.sampled_from(FILTERED_POLICIES))
+    c_serves, parent_receive_c, values = draw(_edge_case)
+    initial = draw(_value)
+    return policy, c_serves, parent_receive_c, values, initial
+
+
+@given(_scenarios())
+@settings(max_examples=200, deadline=None)
+def test_policy_and_edge_filters_agree_on_every_decision(scenario):
+    policy_name, c_serves, parent_receive_c, values, initial = scenario
+    policy = make_policy(policy_name)
+    parent, item_id = 0, 0
+    filters: list[EdgeFilter] = []
+    tagger = SourceTagger() if policy_name == "centralized" else None
+    for child, c_serve in enumerate(c_serves, start=1):
+        policy.register_edge(parent, child, item_id, c_serve, initial)
+        filters.append(EdgeFilter(policy_name, c_serve, initial))
+        if tagger is not None:
+            tagger.add_tolerance(item_id, c_serve, initial)
+
+    for value in values:
+        decision = policy.at_source(item_id, value)
+        if tagger is not None:
+            live_decision = tagger.examine(item_id, value)
+            assert live_decision == decision
+        else:
+            assert decision.disseminate and decision.tag is None
+        if not decision.disseminate:
+            continue
+        for child, filt in enumerate(filters, start=1):
+            sim_forward = policy.decide(
+                parent, child, item_id, value, parent_receive_c, decision.tag
+            ).forward
+            live_forward = filt.decide(value, parent_receive_c, decision.tag)
+            assert sim_forward == live_forward
+
+
+@given(
+    st.lists(_value, min_size=1, max_size=40),
+    _tolerance,
+    st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    _value,
+)
+@settings(max_examples=200, deadline=None)
+def test_distributed_filter_matches_policy_per_edge_state(
+    values, c_serve, parent_receive_c, initial
+):
+    """The stateful walk matters: last_sent only moves on a forward."""
+    policy = make_policy("distributed")
+    policy.register_edge(0, 1, 0, c_serve, initial)
+    filt = EdgeFilter("distributed", c_serve, initial)
+    for value in values:
+        assert (
+            policy.decide(0, 1, 0, value, parent_receive_c, None).forward
+            == filt.decide(value, parent_receive_c)
+        )
