@@ -30,7 +30,13 @@ from __future__ import annotations
 import argparse
 
 from repro.core.dissemination import available_policies
-from repro.engine import SCALE_PRESETS, run_simulation, run_sweep, schedule_for_config
+from repro.engine import (
+    KERNELS,
+    SCALE_PRESETS,
+    run_simulation,
+    run_sweep,
+    schedule_for_config,
+)
 from repro.engine.churn import parse_churn_spec
 from repro.errors import ConfigurationError
 from repro.experiments.runner import preset_config
@@ -129,6 +135,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--comm-delay", type=float, default=None, metavar="MS",
         help="target mean repo-to-repo delay (default: topology's own)",
+    )
+    parser.add_argument(
+        "--kernel", default=None, choices=sorted(KERNELS),
+        help="engine kernel: auto (vectorized where supported, default), "
+        "scalar (the oracle), or vectorized (error if unsupported); "
+        "results are bit-identical either way",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=None, metavar="N",
+        help="modeled end-clients per repository (default: preset value; "
+        "the scalability preset attaches 1000)",
     )
     parser.add_argument("--seed", type=int, default=None, help="master seed")
 
@@ -461,6 +478,10 @@ def main(argv: list[str] | None = None) -> None:
         overrides["seed"] = args.seed
     if args.workload is not None:
         overrides["workload"] = args.workload
+    if args.kernel is not None:
+        overrides["kernel"] = args.kernel
+    if args.clients is not None:
+        overrides["clients_per_repository"] = args.clients
 
     config = preset_config(args.preset, **overrides)
     if args.churn is not None:
@@ -494,6 +515,11 @@ def main(argv: list[str] | None = None) -> None:
     print(f"messages              : {result.messages}")
     print(f"source checks         : {result.source_checks}")
     print(f"events processed      : {result.events_processed}")
+    if config.clients_per_repository:
+        clients = config.n_repositories * config.clients_per_repository
+        print(f"modeled clients       : {clients}")
+        print(f"client checks/serves  : {result.counters.client_checks}"
+              f"/{result.counters.client_messages}")
     if args.churn is not None:
         print(f"churn events          : {result.counters.reconfigurations}")
         print(f"reconfiguration cost  : {result.reconfiguration_cost} "

@@ -14,11 +14,17 @@ share **one** code path, and the simulator can be cross-validated
 against a running network (the ``live_crosscheck`` experiment) without
 any risk of the two re-implementing the paper's equations differently.
 
-Three layers:
+Four layers:
 
-- the pure functions (:func:`forward_distributed`, :func:`forward_eq3_only`,
-  :func:`forward_flooding`, :func:`forward_centralized`,
-  :func:`tag_for_update`) -- stateless, trivially property-testable;
+- the pure scalar functions (:func:`forward_distributed`,
+  :func:`forward_eq3_only`, :func:`forward_flooding`,
+  :func:`forward_centralized`, :func:`tag_for_update`) -- stateless,
+  trivially property-testable;
+- their vectorised mirrors (:func:`forward_distributed_many` and
+  friends, :class:`ArraySourceTagger`) -- evaluate one update against
+  *all* dependents of an edge group in one numpy call, elementwise
+  bit-identical to the scalar functions; the vectorized kernel
+  (:mod:`repro.engine.vectorized`) is built on these;
 - :class:`EdgeFilter` -- one edge's decision plus its per-edge state
   (``last_sent``), dispatching to the pure functions by policy name;
 - :class:`SourceTagger` -- the centralised policy's source-side
@@ -28,18 +34,29 @@ Three layers:
 
 from __future__ import annotations
 
+import math
+
+import numpy as np
+
 from repro.core.dissemination.base import SourceDecision
 from repro.errors import ConfigurationError, DisseminationError
 
 __all__ = [
+    "MIN_TOLERANCE",
     "quantise_tolerance",
+    "validate_tolerance",
     "forward_distributed",
     "forward_eq3_only",
     "forward_flooding",
     "forward_centralized",
+    "forward_distributed_many",
+    "forward_eq3_only_many",
+    "forward_flooding_many",
+    "forward_centralized_many",
     "tag_for_update",
     "EdgeFilter",
     "SourceTagger",
+    "ArraySourceTagger",
     "FILTERED_POLICIES",
 ]
 
@@ -48,14 +65,55 @@ FILTERED_POLICIES = ("distributed", "centralized", "flooding", "eq3_only")
 
 _TOLERANCE_DECIMALS = 9
 
+#: Smallest admissible coherency tolerance: one quantisation quantum.
+#: :func:`quantise_tolerance` rounds to ``_TOLERANCE_DECIMALS`` decimals,
+#: so any positive tolerance below half a quantum (5e-10) silently
+#: collapses to ``0.0`` -- and distinct sub-quantum tolerances merge
+#: into a single centralised-policy bucket.  Tolerances at or above one
+#: full quantum provably survive quantisation (``round`` is monotone and
+#: ``round(1e-9, 9) == 1e-9 > 0``), so the build-time validation in
+#: :mod:`repro.engine.config` / :mod:`repro.engine.builder` rejects
+#: anything smaller.
+MIN_TOLERANCE = 10.0 ** -_TOLERANCE_DECIMALS
+
 
 def quantise_tolerance(c: float) -> float:
     """Collapse float noise so 'unique tolerance' is well defined.
 
     The centralised policy groups edges by their serving tolerance; two
     tolerances that differ only in float dust must land in one bucket.
+    Callers must only pass validated tolerances (``>=``
+    :data:`MIN_TOLERANCE`); below that the rounding quantum collapses
+    the tolerance to ``0.0`` -- see :func:`validate_tolerance`.
     """
     return round(c, _TOLERANCE_DECIMALS)
+
+
+def validate_tolerance(c: float, context: str = "tolerance") -> float:
+    """Reject non-finite or sub-quantum coherency tolerances.
+
+    Args:
+        c: The candidate tolerance.
+        context: Prefix for the error message (e.g. which repository and
+            item the tolerance belongs to).
+
+    Returns:
+        ``c`` unchanged, for call-through convenience.
+
+    Raises:
+        ConfigurationError: when ``c`` is NaN/infinite or smaller than
+            :data:`MIN_TOLERANCE` (the quantisation quantum), which
+            would silently collapse it to ``0.0`` and merge it with
+            every other sub-quantum tolerance.
+    """
+    if not math.isfinite(c):
+        raise ConfigurationError(f"{context} must be finite, got {c!r}")
+    if c < MIN_TOLERANCE:
+        raise ConfigurationError(
+            f"{context} must be >= {MIN_TOLERANCE:g} (the quantisation "
+            f"quantum; smaller values collapse to 0.0), got {c!r}"
+        )
+    return c
 
 
 def forward_distributed(
@@ -92,6 +150,44 @@ def forward_centralized(c_serve: float, tag: float) -> bool:
     return c_serve <= tag
 
 
+def forward_distributed_many(
+    value: float,
+    last_sent: "np.ndarray",
+    c_serve: "np.ndarray",
+    parent_receive_c,
+) -> "np.ndarray":
+    """Vectorised :func:`forward_distributed`: one update vs. N dependents.
+
+    Elementwise bit-identical to the scalar test -- numpy float64
+    ``abs``/compare/subtract agree exactly with Python-float arithmetic
+    on the same operands.  ``parent_receive_c`` may be a scalar (all
+    dependents hang off one serving node) or a parallel array.
+    """
+    deviation = np.abs(value - last_sent)
+    return (deviation > c_serve) | ((c_serve - deviation) < parent_receive_c)
+
+
+def forward_eq3_only_many(
+    value: float, last_sent: "np.ndarray", c_serve: "np.ndarray"
+) -> "np.ndarray":
+    """Vectorised :func:`forward_eq3_only` (Eq. 3 across all dependents)."""
+    return np.abs(value - last_sent) > c_serve
+
+
+def forward_flooding_many(value: float, last_value: "np.ndarray") -> "np.ndarray":
+    """Vectorised :func:`forward_flooding` (distinct-value test)."""
+    return last_value != value
+
+
+def forward_centralized_many(c_serve: "np.ndarray", tag: float) -> "np.ndarray":
+    """Vectorised :func:`forward_centralized` (tag cover across edges).
+
+    ``c_serve`` must hold *quantised* tolerances, exactly as
+    :class:`EdgeFilter` stores them for the centralised policy.
+    """
+    return c_serve <= tag
+
+
 def tag_for_update(
     value: float, unique_cs: list[float], last_sent: dict[float, float]
 ) -> float | None:
@@ -124,6 +220,7 @@ class EdgeFilter:
                 f"unknown edge-filter policy {policy!r}; "
                 f"choose from {list(FILTERED_POLICIES)}"
             )
+        validate_tolerance(c_serve, "edge serving tolerance")
         self.policy = policy
         self.c_serve = (
             quantise_tolerance(c_serve) if policy == "centralized" else c_serve
@@ -186,6 +283,7 @@ class SourceTagger:
     def add_tolerance(self, item_id: int, c: float, initial_value: float) -> None:
         """Declare that somewhere in the network ``item_id`` is served at
         (quantised) tolerance ``c``.  Idempotent per (item, tolerance)."""
+        validate_tolerance(c, "source-tagger tolerance")
         c = quantise_tolerance(c)
         cs = self._unique_cs.setdefault(item_id, [])
         sent = self._last_sent.setdefault(item_id, {})
@@ -224,4 +322,52 @@ class SourceTagger:
                 sent[c] = value
             else:
                 break
+        return SourceDecision(disseminate=True, tag=tag, checks=checks)
+
+
+class ArraySourceTagger:
+    """Array-backed mirror of :class:`SourceTagger` for the vectorized kernel.
+
+    Keeps, per item, the ascending unique-tolerance array and a parallel
+    last-sent array, and examines a fresh update with three numpy ops
+    instead of a Python loop over tolerances.  Bit-identical to
+    :meth:`SourceTagger.examine`: the tag is the largest violated
+    tolerance (the last violated entry of an ascending array) and the
+    value is marked sent for every tolerance the tag covers.
+
+    The population step is intentionally *not* incremental -- the
+    vectorized kernel builds it once from the scalar policy's registered
+    state (:meth:`~repro.core.dissemination.centralized.
+    CentralizedPolicy.unique_tolerances`), keeping the scalar path the
+    single source of truth for what exists in the network.
+    """
+
+    def __init__(self) -> None:
+        # item -> (ascending quantised tolerances, parallel last-sent values)
+        self._state: dict[int, tuple["np.ndarray", "np.ndarray"]] = {}
+
+    def add_item(
+        self, item_id: int, unique_cs: list[float], initial_value: float
+    ) -> None:
+        """Install one item's ascending unique-tolerance list."""
+        cs = np.asarray(unique_cs, dtype=np.float64)
+        if cs.size and np.any(np.diff(cs) <= 0):
+            raise DisseminationError(
+                f"unique tolerances for item {item_id} must be strictly ascending"
+            )
+        self._state[item_id] = (cs, np.full(cs.size, initial_value))
+
+    def examine(self, item_id: int, value: float) -> SourceDecision:
+        """Vectorised :meth:`SourceTagger.examine` (Section 5.2 source step)."""
+        state = self._state.get(item_id)
+        if state is None or not state[0].size:
+            return SourceDecision(disseminate=False, tag=None, checks=0)
+        cs, sent = state
+        checks = int(cs.size)
+        violated = np.abs(value - sent) > cs
+        hits = np.nonzero(violated)[0]
+        if not hits.size:
+            return SourceDecision(disseminate=False, tag=None, checks=checks)
+        tag = float(cs[hits[-1]])
+        sent[cs <= tag] = value
         return SourceDecision(disseminate=True, tag=tag, checks=checks)

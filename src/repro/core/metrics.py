@@ -8,13 +8,27 @@ Besides fidelity, the paper measures:
 - the number of checks performed on incoming data values, especially at
   the source (Figure 11(a) shows the centralised policy does ~50% more
   at the source than the distributed policy does).
+
+The modeled-client plane (``clients_per_repository``) gets separate
+``client_checks``/``client_messages`` fields, mirroring the live layer's
+convention of keeping client-serving cost out of the repository-plane
+message economy (:mod:`repro.live.nodes` does the same with its
+``client_messages`` attribute).
+
+:class:`ArrayCounters` is the struct-of-arrays accumulator the
+vectorized kernel (:mod:`repro.engine.vectorized`) uses on its hot path:
+per-node tallies live in dense numpy arrays instead of dicts, and are
+folded into an ordinary :class:`CostCounters` once at the end of the
+run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["CostCounters"]
+import numpy as np
+
+__all__ = ["CostCounters", "ArrayCounters"]
 
 
 @dataclass
@@ -30,6 +44,8 @@ class CostCounters:
     reconfigurations: int = 0
     edges_added: int = 0
     edges_removed: int = 0
+    client_checks: int = 0
+    client_messages: int = 0
     per_node_messages: dict[int, int] = field(default_factory=dict)
     per_node_checks: dict[int, int] = field(default_factory=dict)
 
@@ -80,9 +96,91 @@ class CostCounters:
         self.edges_added += n_added
         self.edges_removed += n_removed
 
+    def record_client_serving(self, checks: int, messages: int) -> None:
+        """Count one delivery's worth of modeled-client filtering.
+
+        ``checks`` filter evaluations were performed (one per attached
+        client) and ``messages`` of them forwarded.  Kept out of the
+        repository-plane ``messages``/``*_checks`` economy, matching the
+        live layer's separate client accounting.
+        """
+        self.client_checks += checks
+        self.client_messages += messages
+
     def busiest_sender(self) -> tuple[int, int] | None:
         """(node, messages) for the node that sent the most messages."""
         if not self.per_node_messages:
             return None
         node = max(self.per_node_messages, key=lambda n: self.per_node_messages[n])
         return node, self.per_node_messages[node]
+
+
+class ArrayCounters:
+    """Struct-of-arrays accumulator for the vectorized kernel's hot path.
+
+    The scalar engine updates :class:`CostCounters` dicts once per
+    (update, dependent) pair; at 10^5+ modeled clients that dict traffic
+    dominates.  This accumulator keeps the per-node tallies in two dense
+    arrays indexed by node id and the scalar totals as plain ints, then
+    folds everything into a :class:`CostCounters` -- equal, field for
+    field, to what the scalar engine would have produced (dict equality
+    is insertion-order-insensitive, so sparsifying at the end is safe).
+    """
+
+    __slots__ = (
+        "messages",
+        "source_checks",
+        "repository_checks",
+        "source_messages",
+        "deliveries",
+        "drops",
+        "client_checks",
+        "client_messages",
+        "node_messages",
+        "node_checks",
+    )
+
+    def __init__(self, n_nodes: int) -> None:
+        self.messages = 0
+        self.source_checks = 0
+        self.repository_checks = 0
+        self.source_messages = 0
+        self.deliveries = 0
+        self.drops = 0
+        self.client_checks = 0
+        self.client_messages = 0
+        self.node_messages = np.zeros(n_nodes, dtype=np.int64)
+        self.node_checks = np.zeros(n_nodes, dtype=np.int64)
+
+    def record_checks(self, node: int, is_source: bool, count: int) -> None:
+        """Count ``count`` coherency checks at ``node`` (dense-array form)."""
+        if is_source:
+            self.source_checks += count
+        else:
+            self.repository_checks += count
+        self.node_checks[node] += count
+
+    def record_messages(self, sender: int, is_source: bool, count: int) -> None:
+        """Count ``count`` update messages leaving ``sender``."""
+        self.messages += count
+        if is_source:
+            self.source_messages += count
+        self.node_messages[sender] += count
+
+    def to_cost_counters(self) -> CostCounters:
+        """Fold into the dict-backed form the rest of the repo consumes."""
+        counters = CostCounters(
+            messages=self.messages,
+            source_checks=self.source_checks,
+            repository_checks=self.repository_checks,
+            source_messages=self.source_messages,
+            deliveries=self.deliveries,
+            drops=self.drops,
+            client_checks=self.client_checks,
+            client_messages=self.client_messages,
+        )
+        for node in np.nonzero(self.node_messages)[0]:
+            counters.per_node_messages[int(node)] = int(self.node_messages[node])
+        for node in np.nonzero(self.node_checks)[0]:
+            counters.per_node_checks[int(node)] = int(self.node_checks[node])
+        return counters

@@ -14,20 +14,28 @@ from repro.engine.churn import (
     schedule_for_config,
     synthetic_schedule,
 )
-from repro.engine.config import SCALE_PRESETS, SimulationConfig
+from repro.engine.config import KERNELS, SCALE_PRESETS, SimulationConfig
 from repro.engine.builder import SimulationSetup, build_setup, make_membership
 from repro.engine.results import SimulationResult
-from repro.engine.simulation import DisseminationSimulation, run_simulation
+from repro.engine.simulation import (
+    DisseminationSimulation,
+    make_simulation,
+    run_simulation,
+)
 from repro.engine.sweep import resolve_jobs, run_sweep
+from repro.engine.vectorized import VectorizedSimulation
 
 __all__ = [
     "SimulationConfig",
     "SCALE_PRESETS",
+    "KERNELS",
     "SimulationSetup",
     "build_setup",
     "make_membership",
     "SimulationResult",
     "DisseminationSimulation",
+    "VectorizedSimulation",
+    "make_simulation",
     "run_simulation",
     "resolve_jobs",
     "run_sweep",

@@ -16,11 +16,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.core.dissemination.filtering import FILTERED_POLICIES, validate_tolerance
 from repro.engine.churn import ChurnSchedule
 from repro.errors import ConfigurationError
 from repro.workloads import Table1Workload, Workload
 
-__all__ = ["SimulationConfig", "SCALE_PRESETS"]
+__all__ = ["SimulationConfig", "SCALE_PRESETS", "KERNELS"]
+
+#: Engine kernels a config may request.  ``auto`` picks the vectorized
+#: array-backed engine whenever the run supports it (no churn, one of the
+#: four push policies) and falls back to the scalar oracle otherwise;
+#: ``scalar``/``vectorized`` force one side (``vectorized`` errors when
+#: the run is unsupported).  Both produce bit-identical results -- the
+#: golden suite in ``tests/engine/test_vectorized_golden.py`` pins it.
+KERNELS = ("auto", "scalar", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -66,6 +75,22 @@ class SimulationConfig:
         message_loss_probability: Failure-injection knob -- probability
             an update message is silently lost in the network (the paper
             assumes a reliable network; 0 reproduces it).
+        kernel: Which engine runs the event loop: ``auto`` (default)
+            uses the vectorized array-backed kernel whenever the run
+            supports it and the scalar oracle otherwise; ``scalar``
+            forces the oracle; ``vectorized`` forces the array kernel
+            and errors when the run is unsupported (churn, or a policy
+            outside the four push policies).  The two kernels are
+            bit-identical wherever both apply, so this knob never
+            changes results -- only wall-clock.
+        clients_per_repository: Modeled end-clients attached to each
+            repository (0 reproduces the paper's repository-only plane).
+            Each client subscribes to one of its repository's items and
+            is served by the repository-local Eq. (3) + Eq. (7) filter
+            at the client's own (less stringent) tolerance, exactly as
+            the live layer serves its clients; client traffic is
+            accounted separately (``client_checks``/``client_messages``)
+            and never feeds back into repository-plane queueing.
         churn: Optional mid-run churn schedule (timed joins, departures
             and coherency changes; see :mod:`repro.engine.churn`).
             ``None`` -- or an empty schedule, which is normalised to
@@ -95,6 +120,8 @@ class SimulationConfig:
     preference: str = "p1"
     p_percent: float = 5.0
     message_loss_probability: float = 0.0
+    kernel: str = "auto"
+    clients_per_repository: int = 0
     churn: ChurnSchedule | None = None
 
     def __post_init__(self) -> None:
@@ -128,10 +155,40 @@ class SimulationConfig:
                 "(build one with repro.workloads.make_workload)"
             )
         self.workload.validate()
+        if self.kernel not in KERNELS:
+            raise ConfigurationError(
+                f"kernel must be one of {list(KERNELS)}, got {self.kernel!r}"
+            )
+        if self.kernel == "vectorized":
+            if self.churn:
+                raise ConfigurationError(
+                    "kernel='vectorized' does not support churn schedules; "
+                    "use kernel='auto' (falls back to the scalar engine) or "
+                    "kernel='scalar'"
+                )
+            if self.policy not in FILTERED_POLICIES:
+                raise ConfigurationError(
+                    f"kernel='vectorized' supports policies {list(FILTERED_POLICIES)}, "
+                    f"got {self.policy!r}"
+                )
+        if self.clients_per_repository < 0:
+            raise ConfigurationError("clients_per_repository must be >= 0")
         if self.churn is not None and not isinstance(self.churn, ChurnSchedule):
             raise ConfigurationError(
                 f"churn must be a ChurnSchedule or None, got {type(self.churn).__name__}"
             )
+        if self.churn is not None:
+            # Churn events inject *user-supplied* coherency tolerances
+            # mid-run; reject non-finite or sub-quantum ones here, at
+            # build time, rather than letting quantisation collapse them
+            # to 0.0 deep inside a reconfiguration.
+            for event in self.churn:
+                for item_id, c in event.requirements or ():
+                    validate_tolerance(
+                        c,
+                        f"churn {event.kind} for repository {event.repository}, "
+                        f"item {item_id}: tolerance",
+                    )
         if self.churn is not None and not self.churn:
             # An empty schedule is exactly static membership; normalise
             # so both spellings share one graph-construction path (and
@@ -164,5 +221,19 @@ SCALE_PRESETS: dict[str, SimulationConfig] = {
         n_routers=600,
         n_items=20,
         trace_samples=10_000,
+    ),
+    # An order of magnitude past the paper's grids (ROADMAP item 1):
+    # 10^3 repositories serving 10^6 modeled clients.  Router count is
+    # kept moderate because all-pairs routing is cubic in node count and
+    # orthogonal to the dissemination behaviour under study; the
+    # vectorized kernel is what makes this preset tractable (the scalar
+    # oracle still runs it, ~10x+ slower -- pinned in
+    # ``benchmarks/bench_scalability.py``).
+    "scalability": SimulationConfig(
+        n_repositories=1_000,
+        n_routers=250,
+        n_items=8,
+        trace_samples=2_000,
+        clients_per_repository=1_000,
     ),
 }

@@ -34,7 +34,10 @@ actually live.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.dissemination import DisseminationPolicy, make_policy
+from repro.core.dissemination.filtering import FILTERED_POLICIES, forward_distributed
 from repro.core.fidelity import FidelityAccumulator, loss_of_fidelity
 from repro.core.interests import InterestProfile
 from repro.core.metrics import CostCounters
@@ -42,12 +45,13 @@ from repro.engine.builder import SimulationSetup, build_setup, make_membership
 from repro.engine.churn import ChurnEvent
 from repro.engine.config import SimulationConfig
 from repro.engine.results import SimulationResult
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.sim.kernel import Simulator
 from repro.sim.queueing import FifoStation
 from repro.sim.rng import RandomStreams
+from repro.traces.schedule import UpdateSchedule
 
-__all__ = ["DisseminationSimulation", "run_simulation"]
+__all__ = ["DisseminationSimulation", "make_simulation", "run_simulation"]
 
 #: One fidelity-scoring segment: [t_start, t_end or None (still open),
 #: the own-tolerance live over the segment].
@@ -85,6 +89,18 @@ class DisseminationSimulation:
         self._deliveries: dict[tuple[int, int], list[tuple[float, float]]] = {}
         # Per (repo, item): fidelity-scoring segments (see _Segment).
         self._segments: dict[tuple[int, int], list[_Segment]] = {}
+        # Modeled-client plane: per (repo, item), the clients' tolerance
+        # array (read-only, from the setup) and this run's own mutable
+        # last-served array, primed with the item's initial value.
+        self._client_tols: dict[tuple[int, int], np.ndarray] = {}
+        self._client_last: dict[tuple[int, int], np.ndarray] = {}
+        client_tolerances = getattr(setup, "client_tolerances", None)
+        if client_tolerances:
+            for key, tols in client_tolerances.items():
+                self._client_tols[key] = tols
+                self._client_last[key] = np.full(
+                    tols.shape, setup.traces[key[1]].initial_value
+                )
         self._prepare()
 
     # ------------------------------------------------------------------
@@ -155,7 +171,34 @@ class DisseminationSimulation:
         log = self._deliveries.get((node, item_id))
         if log is not None:
             log.append((self.kernel.now, value))
+        self._serve_clients(node, item_id, value)
         self._process_at_node(node, item_id, value, tag)
+
+    def _serve_clients(self, node: int, item_id: int, value: float) -> None:
+        """Filter one fresh copy to the repository's modeled clients.
+
+        Mirrors the live layer: every client is served by the
+        repository-local Eq. (3) + Eq. (7) test at the client's own
+        tolerance, regardless of the repository-plane policy, and client
+        traffic stays out of the repository-plane counters.  This scalar
+        per-client loop is the oracle the vectorized kernel's one-call
+        batch must agree with, client for client.
+        """
+        tols = self._client_tols.get((node, item_id))
+        if tols is None:
+            return
+        receive_c = self._receive_c.get((node, item_id))
+        if receive_c is None:
+            # The pair is mid-teardown (churn removed the subscription
+            # while this message was in flight): nobody to serve from.
+            return
+        last = self._client_last[(node, item_id)]
+        sent = 0
+        for index in range(len(tols)):
+            if forward_distributed(value, last[index], tols[index], receive_c):
+                last[index] = value
+                sent += 1
+        self.counters.record_client_serving(checks=len(tols), messages=sent)
 
     def _process_at_node(self, node: int, item_id: int, value: float, tag) -> None:
         children = self._children.get((node, item_id))
@@ -305,6 +348,14 @@ class DisseminationSimulation:
 
     # ------------------------------------------------------------------
 
+    def _update_schedule(self) -> UpdateSchedule:
+        """The run's source-update timeline (precomputed by the builder;
+        recomputed here only for hand-built setups)."""
+        schedule = getattr(self.setup, "update_schedule", None)
+        if schedule is None:
+            schedule = UpdateSchedule.from_traces(self.setup.traces)
+        return schedule
+
     def run(self) -> SimulationResult:
         """Schedule all trace updates, run to quiescence, score fidelity."""
         if self._churn is not None:
@@ -313,17 +364,19 @@ class DisseminationSimulation:
             # (the kernel breaks time ties in scheduling order).
             for event in self._churn.events:
                 self.kernel.schedule_at(float(event.time), self._on_churn, event)
-        span = 0.0
-        for item_id, trace in self.setup.traces.items():
-            changes = trace.changes()
-            span = max(span, trace.span)
-            # Index 0 is the priming value everyone already holds.
-            for t, v in zip(changes.times[1:], changes.values[1:]):
-                self.kernel.schedule_at(
-                    float(t), self._on_source_update, item_id, float(v)
-                )
+        schedule = self._update_schedule()
+        # tolist() yields plain Python floats/ints; scheduling the merged
+        # time-sorted timeline enqueues the same (time, relative-order)
+        # set the per-trace loop always produced, so heap pop order --
+        # and with it every result bit -- is unchanged.
+        for t, item_id, v in zip(
+            schedule.times.tolist(),
+            schedule.item_ids.tolist(),
+            schedule.values.tolist(),
+        ):
+            self.kernel.schedule_at(t, self._on_source_update, item_id, v)
         self.kernel.run()
-        return self._score(span)
+        return self._score(schedule.span)
 
     def _score(self, span: float) -> SimulationResult:
         accumulator = FidelityAccumulator()
@@ -394,14 +447,60 @@ class DisseminationSimulation:
             tree_stats=self._graph.stats(),
             effective_degree=self.setup.effective_degree,
             avg_comm_delay_ms=self.setup.avg_comm_delay_ms,
-            events_processed=self.kernel.events_processed,
+            events_processed=self._events_processed(),
             sim_span_s=span,
             extras=extras,
         )
 
+    def _events_processed(self) -> int:
+        """Kernel-event count for the result (hook for other kernels)."""
+        return self.kernel.events_processed
+
     def delivery_log(self, repo: int, item_id: int) -> list[tuple[float, float]]:
         """The (time, value) receive log for one repository/item pair."""
         return list(self._deliveries.get((repo, item_id), []))
+
+
+def make_simulation(
+    setup: SimulationSetup, policy: DisseminationPolicy | None = None
+) -> DisseminationSimulation:
+    """Instantiate the engine the setup's config asks for.
+
+    ``kernel="auto"`` (the default) picks the vectorized array-backed
+    engine whenever the run supports it -- no churn schedule and one of
+    the four push policies -- and the scalar oracle otherwise.  The two
+    are bit-identical wherever both apply (pinned by the golden suite),
+    so the choice is purely a wall-clock matter.
+
+    Raises:
+        ConfigurationError: when ``kernel="vectorized"`` is forced for a
+            run the vectorized engine does not support.
+    """
+    # Local import: the vectorized engine subclasses
+    # DisseminationSimulation, so importing it at module scope would be
+    # circular.
+    from repro.engine.vectorized import VectorizedSimulation
+
+    config = setup.config
+    kernel = getattr(config, "kernel", "auto")
+    policy_name = policy.name if policy is not None else config.policy
+    supported = config.churn is None and policy_name in FILTERED_POLICIES
+    if kernel == "scalar":
+        return DisseminationSimulation(setup, policy)
+    if kernel == "vectorized":
+        if not supported:
+            raise ConfigurationError(
+                "kernel='vectorized' cannot run this simulation "
+                f"(policy={policy_name!r}, churn={'yes' if config.churn else 'no'}); "
+                "supported: no churn and a policy in "
+                f"{list(FILTERED_POLICIES)}"
+            )
+        return VectorizedSimulation(setup, policy)
+    return (
+        VectorizedSimulation(setup, policy)
+        if supported
+        else DisseminationSimulation(setup, policy)
+    )
 
 
 def run_simulation(
@@ -421,4 +520,4 @@ def run_simulation(
     """
     if setup is None:
         setup = build_setup(config, base=base)
-    return DisseminationSimulation(setup).run()
+    return make_simulation(setup).run()

@@ -41,7 +41,7 @@ from typing import Iterable, Sequence
 from repro.engine.builder import SimulationSetup, build_setup
 from repro.engine.config import SimulationConfig
 from repro.engine.results import SimulationResult
-from repro.engine.simulation import DisseminationSimulation
+from repro.engine.simulation import make_simulation
 from repro.errors import ConfigurationError
 
 __all__ = ["resolve_jobs", "run_sweep"]
@@ -78,7 +78,7 @@ def _run_point(config: SimulationConfig) -> SimulationResult:
     global _WORKER_BASE
     setup = build_setup(config, base=_WORKER_BASE)
     _WORKER_BASE = setup
-    return DisseminationSimulation(setup).run()
+    return make_simulation(setup).run()
 
 
 def _run_chunk(
@@ -144,7 +144,7 @@ def run_sweep(
         for position, config in enumerate(distinct):
             setup = build_setup(config, base=base)
             base = setup
-            merged[position] = DisseminationSimulation(setup).run()
+            merged[position] = make_simulation(setup).run()
     else:
         chunks = _contiguous_chunks(list(enumerate(distinct)), n_jobs)
         with ProcessPoolExecutor(max_workers=len(chunks)) as pool:

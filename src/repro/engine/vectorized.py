@@ -1,0 +1,306 @@
+"""The vectorized array-backed dissemination engine.
+
+Same simulation, different data layout.  The scalar engine
+(:class:`~repro.engine.simulation.DisseminationSimulation`) walks one
+Python object per message and one dict lookup per dependent; this engine
+regroups the run into struct-of-arrays form so every hot-path step is a
+handful of numpy calls over *all* dependents of an edge group at once:
+
+- **Edge groups.**  Each (node, item) pair that sends or receives
+  becomes one integer group id.  A group stores its dependents as
+  parallel arrays -- child group ids, serving tolerances (quantised for
+  the centralised policy, exactly as the scalar policy stores them),
+  per-edge last-sent values, and precomputed end-to-end delays -- plus
+  the scalars the decision needs (the node's own receive coherency,
+  whether it is the source).
+- **Decisions.**  One update against a group evaluates Eq. (3)/Eq. (7),
+  the Eq. (3)-only test, the flooding distinct-value test, or the
+  centralised tag cover over the whole dependent array via the
+  ``*_many`` mirrors in :mod:`repro.core.dissemination.filtering` --
+  elementwise bit-identical to the scalar functions.
+- **Queueing.**  The FIFO station's chained ``busy_until`` additions
+  become one ``cumsum`` whose first element carries the start offset;
+  sequential accumulation reproduces the scalar chain bit for bit.
+- **Events.**  A :class:`~repro.sim.kernel.BatchKernel` merges the
+  precomputed source timeline with a tuple heap of in-flight
+  deliveries -- no per-message Event objects, no callback dispatch.
+- **Counters.**  :class:`~repro.core.metrics.ArrayCounters` accumulates
+  per-node tallies in dense arrays, folded into
+  :class:`~repro.core.metrics.CostCounters` once at the end.
+
+The scalar engine stays the **oracle**: this class subclasses it, reuses
+its preparation (children maps, receive coherencies, delivery logs,
+scoring segments, the registered scalar policy -- the single source of
+truth for what exists in the network) and its scoring, and replaces only
+the event loop.  ``tests/engine/test_vectorized_golden.py`` pins
+bit-identical results (loss, per-pair losses, every counter field)
+across policies and workloads.
+
+Not supported here -- the factory
+(:func:`~repro.engine.simulation.make_simulation`) falls back to the
+scalar engine for: churn schedules (mid-run membership rebuilds mutate
+the edge structure) and policies outside the four push policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dissemination import DisseminationPolicy
+from repro.core.dissemination.filtering import (
+    FILTERED_POLICIES,
+    ArraySourceTagger,
+    forward_centralized_many,
+    forward_distributed_many,
+    forward_eq3_only_many,
+    forward_flooding_many,
+    quantise_tolerance,
+)
+from repro.core.metrics import ArrayCounters
+from repro.engine.builder import SimulationSetup
+from repro.engine.results import SimulationResult
+from repro.engine.simulation import DisseminationSimulation
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.kernel import BatchKernel
+
+__all__ = ["VectorizedSimulation"]
+
+# Branch-free-ish policy dispatch for the hot loop.
+_DISTRIBUTED, _EQ3_ONLY, _FLOODING, _CENTRALIZED = range(4)
+_POLICY_KIND = {
+    "distributed": _DISTRIBUTED,
+    "eq3_only": _EQ3_ONLY,
+    "flooding": _FLOODING,
+    "centralized": _CENTRALIZED,
+}
+
+
+class VectorizedSimulation(DisseminationSimulation):
+    """Array-backed engine, bit-identical to the scalar oracle."""
+
+    def __init__(
+        self, setup: SimulationSetup, policy: DisseminationPolicy | None = None
+    ):
+        super().__init__(setup, policy)
+        if self._churn is not None:
+            raise ConfigurationError(
+                "VectorizedSimulation does not support churn schedules; "
+                "use the scalar engine (kernel='scalar' or 'auto')"
+            )
+        name = getattr(self.policy, "name", None)
+        if name not in FILTERED_POLICIES:
+            raise ConfigurationError(
+                f"VectorizedSimulation supports policies {list(FILTERED_POLICIES)}, "
+                f"got {name!r}"
+            )
+        self._policy_kind = _POLICY_KIND[name]
+        self._batch_kernel: BatchKernel | None = None
+        self._build_arrays()
+
+    # ------------------------------------------------------------------
+
+    def _build_arrays(self) -> None:
+        """Regroup the scalar preparation into struct-of-arrays form."""
+        setup = self.setup
+        network = setup.network
+        centralized = self._policy_kind == _CENTRALIZED
+
+        # One group per (node, item) that sends and/or receives; senders
+        # first so the source groups get low ids, then pure receivers.
+        gid_of: dict[tuple[int, int], int] = {}
+        for key in self._children:
+            gid_of[key] = len(gid_of)
+        for key in self._receive_c:
+            if key not in gid_of:
+                gid_of[key] = len(gid_of)
+
+        n = len(gid_of)
+        self._g_node: list[int] = [0] * n
+        self._g_issrc: list[bool] = [False] * n
+        self._g_prc: list[float] = [0.0] * n
+        self._g_child_gid: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+        self._g_cs: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+        self._g_last: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+        self._g_delay: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+        self._g_log: list[list | None] = [None] * n
+        self._g_ctol: list[np.ndarray | None] = [None] * n
+        self._g_clast: list[np.ndarray | None] = [None] * n
+
+        empty_i = np.empty(0, dtype=np.int64)
+        empty_f = np.empty(0)
+        for key, gid in gid_of.items():
+            node, item_id = key
+            initial = setup.traces[item_id].initial_value
+            children = self._children.get(key)
+            if children:
+                try:
+                    child_gids = np.array(
+                        [gid_of[(child, item_id)] for child, _c in children],
+                        dtype=np.int64,
+                    )
+                except KeyError as exc:
+                    raise SimulationError(
+                        f"child group missing for edge from node {node}, "
+                        f"item {item_id}: {exc}"
+                    ) from None
+                cs = np.array(
+                    [
+                        quantise_tolerance(c) if centralized else c
+                        for _child, c in children
+                    ]
+                )
+                delays = np.array(
+                    [network.delay_s(node, child) for child, _c in children]
+                )
+                last = np.full(len(children), initial)
+            else:
+                child_gids, cs, delays, last = empty_i, empty_f, empty_f, empty_f
+            self._g_node[gid] = node
+            self._g_issrc[gid] = node == self._root_of[item_id]
+            self._g_prc[gid] = (
+                0.0 if self._g_issrc[gid] else self._receive_c[key]
+            )
+            self._g_child_gid[gid] = child_gids
+            self._g_cs[gid] = cs
+            self._g_delay[gid] = delays
+            self._g_last[gid] = last
+            self._g_log[gid] = self._deliveries.get(key)
+            self._g_ctol[gid] = self._client_tols.get(key)
+            self._g_clast[gid] = self._client_last.get(key)
+
+        self._root_gid: dict[int, int] = {
+            item_id: gid_of.get((self._root_of[item_id], item_id), -1)
+            for item_id in setup.traces
+        }
+        n_nodes = max(self._stations) + 1 if self._stations else 1
+        self._busy = np.zeros(n_nodes)
+        self._acounters = ArrayCounters(n_nodes)
+
+        if centralized:
+            # Populated from the *scalar* policy's registered state, so
+            # the oracle stays the single source of truth for which
+            # tolerances exist in the network.
+            self._tagger = ArraySourceTagger()
+            for item_id, trace in setup.traces.items():
+                self._tagger.add_item(
+                    item_id,
+                    self.policy.unique_tolerances(item_id),
+                    trace.initial_value,
+                )
+
+    # ------------------------------------------------------------------
+
+    def _process_group(self, gid: int, t: float, value: float, tag) -> None:
+        """Decide, queue and dispatch one update against one edge group.
+
+        The vectorized mirror of the scalar ``_process_at_node`` child
+        loop: one decision call over all dependents, one ``cumsum`` for
+        the FIFO departures, one batched loss draw, then tuple pushes.
+        """
+        cs = self._g_cs[gid]
+        n_children = cs.size
+        if not n_children:
+            return
+        kind = self._policy_kind
+        last = self._g_last[gid]
+        if kind == _DISTRIBUTED:
+            mask = forward_distributed_many(value, last, cs, self._g_prc[gid])
+        elif kind == _EQ3_ONLY:
+            mask = forward_eq3_only_many(value, last, cs)
+        elif kind == _FLOODING:
+            mask = forward_flooding_many(value, last)
+        else:
+            mask = forward_centralized_many(cs, tag)
+        node = self._g_node[gid]
+        is_source = self._g_issrc[gid]
+        counters = self._acounters
+        counters.record_checks(node, is_source, n_children)
+        n_forward = int(np.count_nonzero(mask))
+        if not n_forward:
+            return
+        if kind != _CENTRALIZED:
+            last[mask] = value
+
+        # FIFO station: the scalar engine chains busy_until additions one
+        # submit at a time; cumsum with the start folded into the first
+        # element reproduces that chain bit for bit.
+        busy = self._busy
+        backlog = busy[node]
+        start = t if t > backlog else backlog
+        departures = np.full(n_forward, self._comp_delay_s)
+        departures[0] = start + self._comp_delay_s
+        np.cumsum(departures, out=departures)
+        busy[node] = departures[-1]
+        counters.record_messages(node, is_source, n_forward)
+
+        arrivals = departures + self._g_delay[gid][mask]
+        targets = self._g_child_gid[gid][mask]
+        if self._loss_rng is not None:
+            # Same stream, same order: one batched draw consumes the
+            # generator exactly like the scalar per-message draws.
+            kept = self._loss_rng.random(n_forward) >= self._loss_probability
+            dropped = n_forward - int(np.count_nonzero(kept))
+            if dropped:
+                counters.drops += dropped
+                arrivals = arrivals[kept]
+                targets = targets[kept]
+        push = self._batch_kernel.push
+        for arrival, target in zip(arrivals.tolist(), targets.tolist()):
+            push(arrival, target, value, tag)
+
+    def run(self) -> SimulationResult:
+        """Drain the merged source/delivery timeline, then score."""
+        schedule = self._update_schedule()
+        kernel = BatchKernel(schedule.times)
+        self._batch_kernel = kernel
+        source_times = schedule.times.tolist()
+        source_items = schedule.item_ids.tolist()
+        source_values = schedule.values.tolist()
+        centralized = self._policy_kind == _CENTRALIZED
+        root_gid = self._root_gid
+        counters = self._acounters
+        for unit in kernel.drain():
+            if type(unit) is int:
+                # A fresh source update (static schedule index).
+                item_id = source_items[unit]
+                value = source_values[unit]
+                if centralized:
+                    decision = self._tagger.examine(item_id, value)
+                    if decision.checks:
+                        counters.record_checks(
+                            self._root_of[item_id], True, decision.checks
+                        )
+                    if not decision.disseminate:
+                        continue
+                    tag = decision.tag
+                else:
+                    tag = None
+                gid = root_gid[item_id]
+                if gid >= 0:
+                    self._process_group(gid, source_times[unit], value, tag)
+            else:
+                # A delivery tuple: (time, seq, gid, value, tag).
+                t, _seq, gid, value, tag = unit
+                counters.deliveries += 1
+                log = self._g_log[gid]
+                if log is not None:
+                    log.append((t, value))
+                tols = self._g_ctol[gid]
+                if tols is not None:
+                    clast = self._g_clast[gid]
+                    mask = forward_distributed_many(
+                        value, clast, tols, self._g_prc[gid]
+                    )
+                    served = int(np.count_nonzero(mask))
+                    if served:
+                        clast[mask] = value
+                    counters.client_checks += int(tols.size)
+                    counters.client_messages += served
+                self._process_group(gid, t, value, tag)
+        self.counters = counters.to_cost_counters()
+        return self._score(schedule.span)
+
+    def _events_processed(self) -> int:
+        if self._batch_kernel is None:
+            return 0
+        return self._batch_kernel.events_processed

@@ -36,6 +36,7 @@ def _plan(ctx: api.ExperimentContext):
             offered_degree=min(100, n),
             controlled_cooperation=True,
             policy=ctx.params["policy"],
+            kernel=ctx.params["kernel"],
         )
         for n in repo_counts
     )
@@ -76,6 +77,9 @@ SPEC = api.register(api.ExperimentSpec(
                       "coherency-stringency mix (T%)"),
         api.ParamSpec("policy", "str", "distributed",
                       "dissemination policy"),
+        api.ParamSpec("kernel", "str", "auto",
+                      "engine kernel (auto/scalar/vectorized; results "
+                      "are bit-identical, only wall-clock differs)"),
     ),
     plan=_plan,
     collect=_collect,
@@ -88,6 +92,7 @@ def run(
     repo_counts: tuple[int, ...] | None = None,
     t_percent: float = 80.0,
     policy: str = "distributed",
+    kernel: str = "auto",
     jobs: int | None = 1,
     cache: api.ResultCache | None = None,
     **overrides,
@@ -99,7 +104,8 @@ def run(
         jobs=jobs,
         cache=cache,
         params=dict(
-            repo_counts=repo_counts, t_percent=t_percent, policy=policy
+            repo_counts=repo_counts, t_percent=t_percent, policy=policy,
+            kernel=kernel,
         ),
         overrides=overrides,
     )

@@ -1,20 +1,34 @@
-"""The discrete-event simulator.
+"""The discrete-event simulators.
 
 A :class:`Simulator` owns a clock and an :class:`~repro.sim.events.EventQueue`
 and runs callbacks in simulated-time order.  It is deliberately minimal:
 the dissemination engine in :mod:`repro.engine.simulation` schedules plain
 callbacks rather than using coroutine processes, which keeps the hot loop
 fast enough for the paper-scale experiments.
+
+:class:`BatchKernel` is the array-era sibling used by the vectorized
+engine (:mod:`repro.engine.vectorized`): instead of allocating one
+:class:`~repro.sim.events.Event` object and one callback dispatch per
+message, it merges a *pre-sorted static schedule* (every source update
+of the run, known up front as numpy arrays) with a plain tuple heap of
+in-flight deliveries.  Same-timestamp cohorts drain in FIFO scheduling
+order -- all static events at time ``t`` fire before any delivery at
+``t`` (they were scheduled first), and deliveries fire in push order --
+which reproduces the scalar kernel's ``(time, seq)`` tie-breaking
+exactly.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+import heapq
+from typing import Any, Callable, Iterator
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, EventQueue
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "BatchKernel"]
 
 
 class Simulator:
@@ -114,3 +128,96 @@ class Simulator:
         self._queue.clear()
         self._now = 0.0
         self._events_processed = 0
+
+
+class BatchKernel:
+    """Object-free event loop for the vectorized engine.
+
+    Two event sources, merged in simulated-time order:
+
+    - a **static schedule**: the run's full source-update timeline as a
+      non-decreasing float array, fixed at construction (the builder
+      precomputes it from the traces); and
+    - a **dynamic heap** of plain tuples ``(time, seq, *payload)`` for
+      in-flight deliveries, pushed while the loop runs.
+
+    :meth:`drain` yields one unit of work at a time: an ``int`` (the
+    next static-schedule index) or the pushed ``tuple`` itself.  Ties
+    go to the static schedule -- in the scalar kernel every source
+    update is scheduled before the first delivery exists, so at equal
+    timestamps its lower sequence number wins; deliveries at equal
+    timestamps fire in push (FIFO) order via the monotone ``seq``.
+    Work pushed *at* the current timestamp while a cohort drains is
+    picked up within the same cohort, exactly like the scalar queue.
+    """
+
+    __slots__ = ("_static_times", "_n_static", "_next_static", "_heap",
+                 "_seq", "_now", "_events_processed")
+
+    def __init__(self, static_times: "np.ndarray") -> None:
+        times = np.ascontiguousarray(static_times, dtype=np.float64)
+        if times.size and np.any(np.diff(times) < 0):
+            raise SimulationError("static schedule must be time-sorted")
+        self._static_times = times
+        self._n_static = int(times.size)
+        self._next_static = 0
+        self._heap: list[tuple] = []
+        self._seq = 0
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of work units drained so far (static + dynamic)."""
+        return self._events_processed
+
+    def push(self, time: float, *payload: Any) -> None:
+        """Enqueue one dynamic event at absolute simulated ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is NaN or in the simulated past.
+        """
+        if time != time or time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}: clock is already at {self._now!r}"
+            )
+        heapq.heappush(self._heap, (time, self._seq) + payload)
+        self._seq += 1
+
+    def drain(self) -> Iterator[Any]:
+        """Yield work units in ``(time, FIFO)`` order until both sources dry.
+
+        Static units come out as their schedule index (``int``); dynamic
+        units come out as the exact tuple given to :meth:`push`
+        (``(time, seq, *payload)``).  The clock advances to each unit's
+        timestamp before it is yielded.
+        """
+        static_times = self._static_times
+        heap = self._heap
+        while True:
+            has_static = self._next_static < self._n_static
+            if heap:
+                if has_static and static_times[self._next_static] <= heap[0][0]:
+                    index = self._next_static
+                    self._next_static = index + 1
+                    self._now = float(static_times[index])
+                    self._events_processed += 1
+                    yield index
+                else:
+                    event = heapq.heappop(heap)
+                    self._now = event[0]
+                    self._events_processed += 1
+                    yield event
+            elif has_static:
+                index = self._next_static
+                self._next_static = index + 1
+                self._now = float(static_times[index])
+                self._events_processed += 1
+                yield index
+            else:
+                return

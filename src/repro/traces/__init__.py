@@ -12,6 +12,8 @@ subpackage synthesises statistically equivalent ones (see DESIGN.md §4):
 - :mod:`repro.traces.library` -- presets named after the paper's Table 1
   tickers, with the paper's min/max bands.
 - :mod:`repro.traces.io` -- CSV round-tripping.
+- :mod:`repro.traces.schedule` -- the run-wide change timeline as
+  time-sorted numpy arrays (what both engine kernels consume).
 - :mod:`repro.traces.stats` -- Table-1-style summaries.
 
 Which generator a simulation actually uses -- the stationary Table 1
@@ -22,11 +24,13 @@ chosen by the config's workload; see :mod:`repro.workloads`.
 from repro.traces.io import read_trace_csv, write_trace_csv
 from repro.traces.library import PAPER_TICKERS, TickerSpec, make_paper_trace, make_trace_set
 from repro.traces.model import Trace
+from repro.traces.schedule import UpdateSchedule
 from repro.traces.stats import TraceStats, summarize
 from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
 
 __all__ = [
     "Trace",
+    "UpdateSchedule",
     "SyntheticTraceConfig",
     "generate_trace",
     "PAPER_TICKERS",

@@ -3,11 +3,18 @@
 The format is deliberately trivial -- a header line, then
 ``time,value`` rows -- so users can feed in their own polled traces
 exactly as the paper did with Yahoo! data.
+
+Non-finite entries (``nan``/``inf`` parse as valid floats!) are rejected
+row by row with the offending line number: a NaN that slipped through
+here would make the dissemination policies disagree with each other
+(``NaN != last`` floods every update while ``|NaN - last| > c`` never
+fires), so every ingestion path fails fast instead.
 """
 
 from __future__ import annotations
 
 import csv
+import math
 from pathlib import Path
 
 import numpy as np
@@ -38,7 +45,8 @@ def read_trace_csv(path: str | Path, name: str | None = None) -> Trace:
         name: Item name; defaults to the file stem.
 
     Raises:
-        TraceError: on a missing/invalid header or malformed rows.
+        TraceError: on a missing/invalid header, malformed rows, or
+            non-finite (NaN/inf) times or values.
     """
     path = Path(path)
     times: list[float] = []
@@ -59,10 +67,18 @@ def read_trace_csv(path: str | Path, name: str | None = None) -> Trace:
             if len(row) != 2:
                 raise TraceError(f"{path}:{lineno}: expected 2 columns, got {len(row)}")
             try:
-                times.append(float(row[0]))
-                values.append(float(row[1]))
+                time = float(row[0])
+                value = float(row[1])
             except ValueError as exc:
                 raise TraceError(f"{path}:{lineno}: {exc}") from None
+            if not math.isfinite(time) or not math.isfinite(value):
+                raise TraceError(
+                    f"{path}:{lineno}: non-finite entry "
+                    f"({row[0].strip()!r}, {row[1].strip()!r}); trace times and "
+                    "values must be finite"
+                )
+            times.append(time)
+            values.append(value)
     return Trace(
         name=name if name is not None else path.stem,
         times=np.asarray(times),

@@ -18,6 +18,7 @@ with the stringent ($0.01-$0.099) coherency tolerances.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -54,6 +55,13 @@ class SyntheticTraceConfig:
     change_probability: float = 0.35
 
     def validate(self) -> None:
+        # NaN/inf parse as floats and sail through sign checks (NaN fails
+        # *every* comparison), then poison the whole generated trace --
+        # reject them explicitly before any arithmetic happens.
+        for field in ("interval_s", "start_price", "volatility", "reversion", "tick"):
+            value = getattr(self, field)
+            if not math.isfinite(value):
+                raise ConfigurationError(f"{field} must be finite, got {value!r}")
         if self.n_samples < 1:
             raise ConfigurationError(f"n_samples must be >= 1, got {self.n_samples!r}")
         if self.interval_s <= 0:

@@ -98,3 +98,62 @@ def test_source_tagger_examination_marks_covered_tolerances():
 def test_source_tagger_without_tolerances_drops_updates():
     decision = SourceTagger().examine(7, 123.0)
     assert not decision.disseminate and decision.checks == 0
+
+
+# ---------------------------------------------------------------------------
+# Float edge cases: NaN would make the policies silently diverge.
+# ---------------------------------------------------------------------------
+
+
+def test_nan_updates_would_split_the_policies():
+    """The divergence that motivates ingestion-time rejection: flooding's
+    ``!=`` test forwards a NaN on *every* update (NaN != anything),
+    while Eq. (3)/Eq. (7) comparisons never fire on NaN -- so the same
+    NaN-bearing trace would flood one policy and starve the others."""
+    nan = float("nan")
+    assert forward_flooding(nan, 1.0)
+    assert forward_flooding(nan, nan)  # even vs itself: floods forever
+    assert not forward_eq3_only(nan, 1.0, c_serve=0.5)
+    assert not forward_distributed(nan, 1.0, c_serve=0.5, parent_receive_c=0.3)
+
+
+def test_all_filtered_policies_see_only_finite_values():
+    """Cross-policy regression: both trace-ingestion boundaries reject
+    non-finite entries, so every policy's decision functions only ever
+    observe finite floats."""
+    from repro.errors import TraceError
+    from repro.traces.io import read_trace_csv
+    from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+    import math
+    import tempfile
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.core.dissemination.filtering import FILTERED_POLICIES
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "poisoned.csv"
+        path.write_text("time_s,value\n0.0,1.0\n1.0,nan\n")
+        with pytest.raises(TraceError, match="non-finite"):
+            read_trace_csv(path)
+    with pytest.raises(ConfigurationError, match="finite"):
+        generate_trace(
+            "poisoned",
+            SyntheticTraceConfig(volatility=float("nan")),
+            np.random.default_rng(1),
+        )
+
+    # A legitimately generated trace is finite end-to-end, so each
+    # policy's scalar decision path only ever sees finite operands.
+    trace = generate_trace(
+        "clean", SyntheticTraceConfig(n_samples=500), np.random.default_rng(7)
+    )
+    assert all(math.isfinite(v) for v in trace.values.tolist())
+    assert all(math.isfinite(t) for t in trace.times.tolist())
+    for policy in FILTERED_POLICIES:
+        filt = EdgeFilter(policy, 0.05, trace.initial_value)
+        for _time, value in zip(trace.times.tolist(), trace.values.tolist()):
+            filt.decide(value, 0.01, tag=0.05 if policy == "centralized" else None)
+            assert math.isfinite(filt.last_sent)

@@ -17,7 +17,7 @@ def test_default_config_matches_paper_parameters():
 
 
 def test_presets_exist_and_scale_up():
-    assert set(SCALE_PRESETS) == {"tiny", "small", "paper"}
+    assert set(SCALE_PRESETS) == {"tiny", "small", "paper", "scalability"}
     tiny, small, paper = (
         SCALE_PRESETS["tiny"],
         SCALE_PRESETS["small"],
@@ -25,6 +25,52 @@ def test_presets_exist_and_scale_up():
     )
     assert tiny.n_repositories < small.n_repositories < paper.n_repositories
     assert tiny.trace_samples < small.trace_samples < paper.trace_samples
+
+
+def test_scalability_preset_reaches_roadmap_scale():
+    # ROADMAP item 1: 10^3+ repositories, 10^5-10^6 modeled clients.
+    scale = SCALE_PRESETS["scalability"]
+    assert scale.n_repositories >= 1_000
+    assert scale.n_repositories * scale.clients_per_repository >= 100_000
+    assert scale.kernel == "auto"
+
+
+@pytest.mark.parametrize("kernel", ["auto", "scalar", "vectorized"])
+def test_kernel_field_accepts_known_kernels(kernel):
+    assert SimulationConfig(kernel=kernel).kernel == kernel
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(kernel="gpu")
+
+
+def test_vectorized_kernel_rejects_churn_and_exotic_policies():
+    from repro.engine.churn import ChurnEvent, ChurnSchedule
+
+    schedule = ChurnSchedule(events=(ChurnEvent.depart(10.0, 1),))
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(kernel="vectorized", churn=schedule)
+
+
+def test_churn_tolerances_validated_at_build_time():
+    from repro.engine.churn import ChurnEvent, ChurnSchedule
+
+    bad = ChurnSchedule(
+        events=(ChurnEvent.update(10.0, 1, {0: 1e-12}),)
+    )
+    with pytest.raises(ConfigurationError, match="quantisation"):
+        SimulationConfig(churn=bad)
+    nan = ChurnSchedule(
+        events=(ChurnEvent.update(10.0, 1, {0: float("nan")}),)
+    )
+    with pytest.raises(ConfigurationError, match="finite"):
+        SimulationConfig(churn=nan)
+
+
+def test_negative_clients_rejected():
+    with pytest.raises(ConfigurationError):
+        SimulationConfig(clients_per_repository=-1)
 
 
 def test_paper_preset_matches_base_case():

@@ -1,0 +1,110 @@
+"""Golden-seed bit-identity: vectorized kernel vs the scalar oracle.
+
+The vectorized kernel is a pure performance refactor.  These tests pin
+that claim: for every supported policy, workload, and execution mode
+(serial and multi-process sweeps) the scalar and vectorized kernels
+produce *identical* ``SimulationResult`` objects -- loss of fidelity,
+per-repository losses, every message/check counter (including per-node
+breakdowns and client-plane totals), and the event count.
+
+``SimulationResult`` equality is full dataclass equality, so a single
+``==`` covers all of those fields at float bit-exactness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dissemination.filtering import FILTERED_POLICIES
+from repro.engine.builder import build_setup
+from repro.engine.churn import ChurnEvent, ChurnSchedule
+from repro.engine.config import SCALE_PRESETS
+from repro.engine.simulation import (
+    DisseminationSimulation,
+    make_simulation,
+    run_simulation,
+)
+from repro.engine.sweep import run_sweep
+from repro.engine.vectorized import VectorizedSimulation
+from repro.errors import ConfigurationError
+from repro.workloads import DiurnalWorkload, FlashCrowdWorkload, Table1Workload
+
+BASE = SCALE_PRESETS["tiny"].with_(n_items=3, trace_samples=300)
+
+WORKLOADS = {
+    "table1": Table1Workload(),
+    "flash_crowd": FlashCrowdWorkload(),
+    "diurnal": DiurnalWorkload(),
+}
+
+
+def _pair(config):
+    """Run the same config under both kernels and return both results."""
+    scalar = run_simulation(config.with_(kernel="scalar"))
+    vector = run_simulation(config.with_(kernel="vectorized"))
+    return scalar, vector
+
+
+@pytest.mark.parametrize("policy", sorted(FILTERED_POLICIES))
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_scalar_and_vectorized_results_are_bit_identical(policy, workload):
+    config = BASE.with_(policy=policy, workload=WORKLOADS[workload])
+    scalar, vector = _pair(config)
+    assert scalar == vector
+
+
+@pytest.mark.parametrize("policy", sorted(FILTERED_POLICIES))
+def test_bit_identity_with_message_loss_and_clients(policy):
+    config = BASE.with_(
+        policy=policy,
+        message_loss_probability=0.02,
+        seed=3913,
+        clients_per_repository=50,
+    )
+    scalar, vector = _pair(config)
+    assert scalar == vector
+    # The client plane actually exercised something.
+    assert scalar.counters.client_checks > 0
+
+
+def test_bit_identity_under_parallel_sweep():
+    """``--jobs 4`` sweeps dispatch through the same kernel selection."""
+    configs = [
+        BASE.with_(policy=policy, workload=WORKLOADS[workload])
+        for policy in sorted(FILTERED_POLICIES)
+        for workload in ("flash_crowd", "diurnal")
+    ]
+    scalar_cfgs = [c.with_(kernel="scalar") for c in configs]
+    vector_cfgs = [c.with_(kernel="vectorized") for c in configs]
+    serial = run_sweep(scalar_cfgs, jobs=1)
+    assert run_sweep(vector_cfgs, jobs=1) == serial
+    assert run_sweep(vector_cfgs, jobs=4) == serial
+
+
+def test_auto_selects_vectorized_when_supported():
+    setup = build_setup(BASE.with_(kernel="auto"))
+    sim = make_simulation(setup)
+    assert type(sim) is VectorizedSimulation
+
+
+def test_auto_falls_back_to_scalar_under_churn():
+    schedule = ChurnSchedule(events=(ChurnEvent.depart(1.0e9, 1),))
+    setup = build_setup(BASE.with_(kernel="auto", churn=schedule))
+    sim = make_simulation(setup)
+    assert type(sim) is DisseminationSimulation
+
+
+def test_vectorized_kernel_refuses_churn_setups():
+    schedule = ChurnSchedule(events=(ChurnEvent.depart(1.0e9, 1),))
+    setup = build_setup(BASE.with_(churn=schedule))
+    with pytest.raises(ConfigurationError):
+        VectorizedSimulation(setup)
+
+
+def test_shared_setup_reuse_is_stateless():
+    """One built setup can back many runs without cross-contamination."""
+    setup = build_setup(BASE.with_(clients_per_repository=25))
+    first = VectorizedSimulation(setup).run()
+    second = VectorizedSimulation(setup).run()
+    oracle = DisseminationSimulation(setup).run()
+    assert first == second == oracle

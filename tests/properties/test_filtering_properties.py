@@ -14,6 +14,7 @@ update sequences.
 from __future__ import annotations
 
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.core.dissemination import make_policy
@@ -96,3 +97,107 @@ def test_distributed_filter_matches_policy_per_edge_state(
             policy.decide(0, 1, 0, value, parent_receive_c, None).forward
             == filt.decide(value, parent_receive_c)
         )
+
+
+# ---------------------------------------------------------------------------
+# Quantisation safety and scalar/vectorized agreement.
+# ---------------------------------------------------------------------------
+
+import numpy as np
+
+from repro.core.dissemination.filtering import (
+    MIN_TOLERANCE,
+    ArraySourceTagger,
+    forward_centralized,
+    forward_centralized_many,
+    forward_distributed,
+    forward_distributed_many,
+    forward_eq3_only,
+    forward_eq3_only_many,
+    forward_flooding,
+    forward_flooding_many,
+    quantise_tolerance,
+    validate_tolerance,
+)
+from repro.errors import ConfigurationError
+
+_valid_tolerance = st.floats(
+    min_value=MIN_TOLERANCE,
+    max_value=1e12,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+
+@given(_valid_tolerance)
+@settings(max_examples=500, deadline=None)
+def test_quantisation_never_collapses_a_valid_tolerance_to_zero(c):
+    """The satellite-1 contract: any tolerance that passes validation
+    survives quantisation as a strictly positive value."""
+    validate_tolerance(c)
+    assert quantise_tolerance(c) > 0.0
+
+
+@given(
+    st.floats(min_value=0.0, allow_nan=False, allow_infinity=False,
+              max_value=MIN_TOLERANCE).filter(lambda c: c < MIN_TOLERANCE)
+)
+@settings(max_examples=200, deadline=None)
+def test_sub_quantum_tolerances_are_rejected_not_collapsed(c):
+    with pytest.raises(ConfigurationError, match="quantisation quantum"):
+        validate_tolerance(c)
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+def test_non_finite_tolerances_are_rejected(bad):
+    with pytest.raises(ConfigurationError, match="finite"):
+        validate_tolerance(bad)
+
+
+_batch = st.tuples(
+    _value,                                        # fresh update value
+    st.lists(_value, min_size=1, max_size=8),      # per-edge last state
+    st.lists(_tolerance, min_size=1, max_size=8),  # per-edge tolerances
+    st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+)
+
+
+@given(_batch)
+@settings(max_examples=300, deadline=None)
+def test_vectorized_forward_tests_match_scalar_elementwise(case):
+    value, lasts, cs, prc = case
+    n = min(len(lasts), len(cs))
+    lasts, cs = lasts[:n], cs[:n]
+    last_arr = np.asarray(lasts, dtype=np.float64)
+    cs_arr = np.asarray(cs, dtype=np.float64)
+
+    dist = forward_distributed_many(value, last_arr, cs_arr, prc)
+    eq3 = forward_eq3_only_many(value, last_arr, cs_arr)
+    flood = forward_flooding_many(value, last_arr)
+    qcs = np.asarray([quantise_tolerance(c) for c in cs])
+    cent = forward_centralized_many(qcs, tag=quantise_tolerance(cs[0]))
+
+    for i in range(n):
+        assert dist[i] == forward_distributed(value, lasts[i], cs[i], prc)
+        assert eq3[i] == forward_eq3_only(value, lasts[i], cs[i])
+        assert flood[i] == forward_flooding(value, lasts[i])
+        assert cent[i] == forward_centralized(
+            quantise_tolerance(cs[i]), quantise_tolerance(cs[0])
+        )
+
+
+@given(
+    st.lists(_tolerance, min_size=1, max_size=6, unique=True),
+    st.lists(_value, min_size=1, max_size=40),
+    _value,
+)
+@settings(max_examples=200, deadline=None)
+def test_array_source_tagger_matches_scalar_tagger(cs, values, initial):
+    scalar = SourceTagger()
+    for c in cs:
+        scalar.add_tolerance(0, c, initial)
+    unique = scalar.unique_tolerances(0)
+    array = ArraySourceTagger()
+    array.add_item(0, unique, initial)
+    for value in values:
+        assert array.examine(0, value) == scalar.examine(0, value)

@@ -77,3 +77,21 @@ def test_header_only_is_empty_trace_error(tmp_path):
     path.write_text("time_s,value\n")
     with pytest.raises(TraceError):
         read_trace_csv(path)
+
+@pytest.mark.parametrize("cell", ["nan", "NaN", "inf", "-inf", "Infinity"])
+def test_non_finite_value_rejected_with_location(tmp_path, cell):
+    """NaN values must never reach the filtering layer: ``!=`` forwards
+    a NaN on every update under flooding while Eq. (3)/Eq. (7) never
+    fire on it, so the push policies would silently diverge."""
+    path = tmp_path / "naughty.csv"
+    path.write_text(f"time_s,value\n0.0,1.0\n1.0,{cell}\n")
+    with pytest.raises(TraceError, match=r"naughty\.csv:3: non-finite"):
+        read_trace_csv(path)
+
+
+@pytest.mark.parametrize("cell", ["nan", "inf", "-inf"])
+def test_non_finite_time_rejected_with_location(tmp_path, cell):
+    path = tmp_path / "warped.csv"
+    path.write_text(f"time_s,value\n{cell},1.0\n")
+    with pytest.raises(TraceError, match=r"warped\.csv:2: non-finite"):
+        read_trace_csv(path)

@@ -77,6 +77,11 @@ def test_metadata_recorded():
         {"tick": 0.0},
         {"change_probability": 0.0},
         {"change_probability": 1.5},
+        {"interval_s": float("nan")},
+        {"start_price": float("inf")},
+        {"volatility": float("nan")},
+        {"reversion": float("-inf")},
+        {"tick": float("nan")},
     ],
 )
 def test_invalid_config_rejected(kwargs):
