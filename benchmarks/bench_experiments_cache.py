@@ -33,6 +33,11 @@ TINY_OVERRIDES = dict(n_items=6, trace_samples=400)
 #: they must beat simulation by a wide margin.
 MIN_WARM_SPEEDUP = 5.0
 
+#: The crosscheck's TCP leg is wall-clock (real sockets, deliberately
+#: never cached), so its payload cannot be bit-reproducible warm vs
+#: cold; the in-process live legs stay on and stay bit-deterministic.
+PARAMS = {"live_crosscheck": {"tcp": "off"}}
+
 
 def bench_experiments_cache_warm_vs_cold(benchmark, tmp_path):
     names = api.available_experiments()
@@ -44,6 +49,7 @@ def bench_experiments_cache_warm_vs_cold(benchmark, tmp_path):
         preset="tiny",
         cache=cache,
         artifacts_dir=tmp_path / "artifacts",
+        params_by_name=PARAMS,
         overrides=TINY_OVERRIDES,
     )
     cold_s = time.perf_counter() - start
@@ -64,6 +70,7 @@ def bench_experiments_cache_warm_vs_cold(benchmark, tmp_path):
             preset="tiny",
             cache=cache,
             artifacts_dir=tmp_path / "artifacts",
+            params_by_name=PARAMS,
             overrides=TINY_OVERRIDES,
         ),
         rounds=1,

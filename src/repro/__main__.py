@@ -38,6 +38,7 @@ from repro.engine import (
     schedule_for_config,
 )
 from repro.engine.churn import parse_churn_spec
+from repro.engine.failures import failures_for_config, parse_failure_spec
 from repro.errors import ConfigurationError
 from repro.experiments.runner import preset_config
 from repro.workloads import available_workloads, parse_workload_spec
@@ -57,6 +58,13 @@ def _degree_list(text: str) -> list[int]:
 def _churn_counts(text: str) -> tuple[int, int, int]:
     try:
         return parse_churn_spec(text)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _failure_counts(text: str) -> tuple[int, int]:
+    try:
+        return parse_failure_spec(text)
     except ConfigurationError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
@@ -117,6 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="synthetic mid-run churn: J late joins, D departures, U "
         "coherency changes, placed by a schedule derived from the seed "
         "(see repro.engine.churn)",
+    )
+    parser.add_argument(
+        "--failures", type=_failure_counts, default=None, metavar="C,P",
+        help="synthetic unplanned failures: C repository crash/recover "
+        "pairs and P link down/up windows, placed by a schedule derived "
+        "from the seed (see repro.engine.failures)",
     )
     parser.add_argument(
         "--workload", type=_workload_spec, default=None, metavar="NAME[:K=V,...]",
@@ -270,6 +284,33 @@ def build_parser() -> argparse.ArgumentParser:
             help="truncate the replay to the first S simulated seconds "
             "(default: the full trace span)",
         )
+        sub.add_argument(
+            "--failures", dest="live_failures", type=_failure_counts,
+            default=None, metavar="C,P",
+            help="inject C repository crash/recover pairs and P link "
+            "down/up windows (same seeded schedule the simulator runs)",
+        )
+        sub.add_argument(
+            "--loss", dest="live_loss", type=float, default=None,
+            metavar="P",
+            help="seeded Bernoulli message-loss probability in [0, 1) "
+            "(default: the config's, normally 0)",
+        )
+        sub.add_argument(
+            "--heartbeat-interval", type=float, default=0.5, metavar="S",
+            help="tcp liveness-probe period in wall seconds; 0 disables "
+            "(default: 0.5; ignored by inprocess)",
+        )
+        sub.add_argument(
+            "--reconnect-backoff", type=float, default=0.05, metavar="S",
+            help="initial tcp reconnect backoff, doubled per attempt "
+            "(default: 0.05; ignored by inprocess)",
+        )
+        sub.add_argument(
+            "--reconnect-attempts", type=int, default=5, metavar="N",
+            help="tcp connection attempts before a frame is counted as "
+            "dropped (default: 5; ignored by inprocess)",
+        )
 
     live_run = live_actions.add_parser(
         "run", help="replay the workload through a live network"
@@ -385,19 +426,34 @@ def _live_config(args):
     overrides: dict = {"t_percent": args.live_t, "policy": args.live_policy}
     if args.live_seed is not None:
         overrides["seed"] = args.live_seed
-    return preset_config(args.live_preset, **overrides)
+    if args.live_loss is not None:
+        overrides["message_loss_probability"] = args.live_loss
+    config = preset_config(args.live_preset, **overrides)
+    if args.live_failures is not None:
+        crashes, partitions = args.live_failures
+        config = config.with_(
+            failures=failures_for_config(
+                config, crashes=crashes, partitions=partitions
+            )
+        )
+    return config
+
+
+def _live_knobs(args) -> dict:
+    return dict(
+        duration=args.duration,
+        time_scale=args.time_scale,
+        heartbeat_interval_s=args.heartbeat_interval,
+        reconnect_backoff_s=args.reconnect_backoff,
+        reconnect_attempts=args.reconnect_attempts,
+    )
 
 
 def _live_run(args) -> None:
     from repro.live import run_live
 
     config = _live_config(args)
-    result = run_live(
-        config,
-        args.transport,
-        duration=args.duration,
-        time_scale=args.time_scale,
-    )
+    result = run_live(config, args.transport, **_live_knobs(args))
     rate = result.delivered / result.wall_seconds if result.wall_seconds else 0.0
     print(f"preset={args.live_preset} policy={args.live_policy} "
           f"transport={result.transport} workload={config.workload.describe()}")
@@ -408,6 +464,18 @@ def _live_run(args) -> None:
     print(f"replayed span             : {result.sim_span_s:.0f} s simulated")
     print(f"wall time                 : {result.wall_seconds:.2f} s "
           f"({rate:.0f} deliveries/s)")
+    if args.live_failures is not None:
+        print(f"failure events            : "
+              f"{result.extras.get('failure_events', 0)} "
+              f"({result.extras.get('crashes', 0)} crashes, "
+              f"{result.extras.get('partitions', 0)} partitions)")
+        print(f"resyncs (checks/msgs)     : {result.counters.resyncs} "
+              f"({result.counters.resync_checks}"
+              f"/{result.counters.resync_messages})")
+        if "heartbeats" in result.extras:
+            print(f"heartbeats/reconnects     : "
+                  f"{result.extras['heartbeats']}"
+                  f"/{result.extras['reconnects']}")
 
 
 def _live_loadgen(args) -> None:
@@ -420,8 +488,7 @@ def _live_loadgen(args) -> None:
         config,
         args.live_jobs,
         args.transport,
-        duration=args.duration,
-        time_scale=args.time_scale,
+        **_live_knobs(args),
     )
     result = report.result
     print(f"preset={args.live_preset} policy={args.live_policy} "
@@ -491,6 +558,16 @@ def main(argv: list[str] | None = None) -> None:
                 config, joins=joins, departs=departs, updates=updates
             )
         )
+    if args.failures is not None:
+        crashes, partitions = args.failures
+        try:
+            config = config.with_(
+                failures=failures_for_config(
+                    config, crashes=crashes, partitions=partitions
+                )
+            )
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
 
     if args.degrees is not None:
         degrees = args.degrees
@@ -525,6 +602,16 @@ def main(argv: list[str] | None = None) -> None:
         print(f"reconfiguration cost  : {result.reconfiguration_cost} "
               "resubscriptions")
         print(f"reconfiguration drops : {result.counters.drops}")
+    if args.failures is not None:
+        print(f"failure events        : {result.extras.get('failure_events', 0)} "
+              f"({result.extras.get('crashes', 0)} crashes, "
+              f"{result.extras.get('partitions', 0)} partitions)")
+        print(f"messages dropped      : {result.counters.drops}")
+        print(f"failover edge moves   : "
+              f"{result.counters.edges_added + result.counters.edges_removed}")
+        print(f"resyncs (checks/msgs) : {result.counters.resyncs} "
+              f"({result.counters.resync_checks}"
+              f"/{result.counters.resync_messages})")
 
 
 if __name__ == "__main__":

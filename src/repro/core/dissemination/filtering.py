@@ -335,11 +335,13 @@ class ArraySourceTagger:
     tolerance (the last violated entry of an ascending array) and the
     value is marked sent for every tolerance the tag covers.
 
-    The population step is intentionally *not* incremental -- the
-    vectorized kernel builds it once from the scalar policy's registered
-    state (:meth:`~repro.core.dissemination.centralized.
+    The population step builds it once from the scalar policy's
+    registered state (:meth:`~repro.core.dissemination.centralized.
     CentralizedPolicy.unique_tolerances`), keeping the scalar path the
-    single source of truth for what exists in the network.
+    single source of truth for what exists in the network;
+    :meth:`add_tolerance` / :meth:`remove_tolerance` exist only so
+    failure-driven reconfigurations (backup-parent failover) can replay
+    the scalar :class:`SourceTagger`'s add/remove transitions exactly.
     """
 
     def __init__(self) -> None:
@@ -356,6 +358,35 @@ class ArraySourceTagger:
                 f"unique tolerances for item {item_id} must be strictly ascending"
             )
         self._state[item_id] = (cs, np.full(cs.size, initial_value))
+
+    def add_tolerance(self, item_id: int, c: float, initial_value: float) -> None:
+        """Insert one (quantised) tolerance; idempotent, like
+        :meth:`SourceTagger.add_tolerance` (an existing entry keeps its
+        last-sent value)."""
+        c = quantise_tolerance(c)
+        cs, sent = self._state.get(
+            item_id, (np.empty(0, dtype=np.float64), np.empty(0))
+        )
+        idx = int(np.searchsorted(cs, c))
+        if idx < cs.size and cs[idx] == c:
+            return
+        self._state[item_id] = (
+            np.insert(cs, idx, c),
+            np.insert(sent, idx, initial_value),
+        )
+
+    def remove_tolerance(self, item_id: int, c: float) -> None:
+        """Forget one (item, tolerance) pair; idempotent, like
+        :meth:`SourceTagger.remove_tolerance`."""
+        c = quantise_tolerance(c)
+        state = self._state.get(item_id)
+        if state is None:
+            return
+        cs, sent = state
+        hits = np.nonzero(cs == c)[0]
+        if hits.size:
+            i = int(hits[0])
+            self._state[item_id] = (np.delete(cs, i), np.delete(sent, i))
 
     def examine(self, item_id: int, value: float) -> SourceDecision:
         """Vectorised :meth:`SourceTagger.examine` (Section 5.2 source step)."""

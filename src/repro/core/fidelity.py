@@ -21,7 +21,12 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["violation_time", "loss_of_fidelity", "FidelityAccumulator"]
+__all__ = [
+    "violation_time",
+    "loss_of_fidelity",
+    "segmented_loss",
+    "FidelityAccumulator",
+]
 
 
 def _step_values_at(
@@ -107,6 +112,61 @@ def loss_of_fidelity(
         source_times, source_values, recv_times, recv_values, c, t_start, t_end
     )
     return 100.0 * violated / (t_end - t_start)
+
+
+def segmented_loss(
+    source_times: np.ndarray,
+    source_values: np.ndarray,
+    recv_times,
+    recv_values,
+    segments,
+    t0: float,
+    t1: float,
+) -> float | None:
+    """Duration-weighted loss over the intervals a requirement was live.
+
+    ``segments`` is a list of ``[start, end-or-None, c_own]`` entries:
+    the (repository, item) pair's requirement was live from ``start`` to
+    ``end`` (``None`` = still open) at tolerance ``c_own``.  Both the
+    simulation engine and the live harness score churned/failed pairs
+    through this one function, so the two planes cannot drift apart.
+
+    Returns ``None`` when the requirement was never live inside
+    ``[t0, t1]`` (nothing to score); a single open segment covering
+    ``t0`` takes the exact code path of the static engine
+    (:func:`loss_of_fidelity` over the full window, bit for bit).
+    """
+    if len(segments) == 1 and segments[0][0] <= t0 and segments[0][1] is None:
+        return loss_of_fidelity(
+            source_times,
+            source_values,
+            recv_times,
+            recv_values,
+            segments[0][2],
+            t_start=t0,
+            t_end=t1,
+        )
+    weighted = 0.0
+    total = 0.0
+    for start, end, c_own in segments:
+        seg_start = max(float(start), t0)
+        seg_end = t1 if end is None else min(float(end), t1)
+        if seg_end <= seg_start:
+            continue
+        seg_loss = loss_of_fidelity(
+            source_times,
+            source_values,
+            recv_times,
+            recv_values,
+            c_own,
+            t_start=seg_start,
+            t_end=seg_end,
+        )
+        weighted += seg_loss * (seg_end - seg_start)
+        total += seg_end - seg_start
+    if total <= 0.0:
+        return None
+    return weighted / total
 
 
 @dataclass

@@ -46,6 +46,9 @@ class CostCounters:
     edges_removed: int = 0
     client_checks: int = 0
     client_messages: int = 0
+    resyncs: int = 0
+    resync_checks: int = 0
+    resync_messages: int = 0
     per_node_messages: dict[int, int] = field(default_factory=dict)
     per_node_checks: dict[int, int] = field(default_factory=dict)
 
@@ -95,6 +98,20 @@ class CostCounters:
         self.reconfigurations += 1
         self.edges_added += n_added
         self.edges_removed += n_removed
+
+    def record_resync(self, checks: int, messages: int) -> None:
+        """Count one anti-entropy resync of a recovering repository.
+
+        ``checks`` per-item comparisons were made against the live
+        parent (the setdiscovery-style discovery round) and ``messages``
+        stale copies actually transferred -- the missed update-set, so
+        ``messages <= checks`` always, versus ``checks`` transfers for a
+        full-state sync.  Kept out of the repository-plane ``messages``
+        economy, like reconfiguration cost.
+        """
+        self.resyncs += 1
+        self.resync_checks += checks
+        self.resync_messages += messages
 
     def record_client_serving(self, checks: int, messages: int) -> None:
         """Count one delivery's worth of modeled-client filtering.

@@ -16,6 +16,12 @@ from repro.engine.churn import (
 )
 from repro.engine.config import KERNELS, SCALE_PRESETS, SimulationConfig
 from repro.engine.builder import SimulationSetup, build_setup, make_membership
+from repro.engine.failures import (
+    FailureEvent,
+    FailureSchedule,
+    failures_for_config,
+    synthetic_failures,
+)
 from repro.engine.results import SimulationResult
 from repro.engine.simulation import (
     DisseminationSimulation,
@@ -43,4 +49,8 @@ __all__ = [
     "ChurnSchedule",
     "schedule_for_config",
     "synthetic_schedule",
+    "FailureEvent",
+    "FailureSchedule",
+    "failures_for_config",
+    "synthetic_failures",
 ]

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.dissemination.filtering import FILTERED_POLICIES, validate_tolerance
 from repro.engine.churn import ChurnSchedule
+from repro.engine.failures import FailureSchedule
 from repro.errors import ConfigurationError
 from repro.workloads import Table1Workload, Workload
 
@@ -98,6 +99,18 @@ class SimulationConfig:
             events are present, the initial graph is built through
             :class:`~repro.core.dynamics.DynamicMembership` so mid-run
             rebuilds replay the same join order.
+        failures: Optional unplanned-failure schedule (repository
+            crash/recover events, link down/up windows; see
+            :mod:`repro.engine.failures`).  ``None`` -- or an empty
+            schedule, normalised to ``None`` -- reproduces the paper's
+            reliable network.  Executed identically by both kernels:
+            messages toward crashed repositories or over down links
+            count as drops, orphaned dependents fail over to a backup
+            parent (charged as reconfiguration cost), and recovering
+            repositories anti-entropy-resync only their missed
+            update-set.  Mutually exclusive with ``churn`` (planned and
+            unplanned membership change use different graph-evolution
+            machinery).
     """
 
     seed: int = 20020812
@@ -123,6 +136,7 @@ class SimulationConfig:
     kernel: str = "auto"
     clients_per_repository: int = 0
     churn: ChurnSchedule | None = None
+    failures: FailureSchedule | None = None
 
     def __post_init__(self) -> None:
         if self.n_repositories < 1:
@@ -194,6 +208,23 @@ class SimulationConfig:
             # so both spellings share one graph-construction path (and
             # one hash bucket in sweep merging).
             object.__setattr__(self, "churn", None)
+        if self.failures is not None and not isinstance(self.failures, FailureSchedule):
+            raise ConfigurationError(
+                "failures must be a FailureSchedule or None, got "
+                f"{type(self.failures).__name__}"
+            )
+        if self.failures is not None and not self.failures:
+            # An empty schedule is exactly the reliable network;
+            # normalise for the same single-path/hash-bucket reasons.
+            object.__setattr__(self, "failures", None)
+        if self.failures is not None:
+            if self.churn is not None:
+                raise ConfigurationError(
+                    "churn and failure schedules cannot be combined in one "
+                    "run: planned membership change rebuilds the graph while "
+                    "unplanned failure reroutes within it"
+                )
+            self.failures.validate_nodes(self.n_repositories)
 
     def with_(self, **overrides) -> "SimulationConfig":
         """Return a copy with the given fields replaced."""

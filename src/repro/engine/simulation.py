@@ -30,6 +30,17 @@ parent's current copy), and the diff's cost is charged into
 toward a departed repository count as drops; fidelity is scored only
 over the intervals a (repository, item, tolerance) requirement was
 actually live.
+
+Unplanned failures (:mod:`repro.engine.failures`): when the config
+carries a :class:`~repro.engine.failures.FailureSchedule`, crash /
+recover / link events likewise run in-kernel.  Messages toward a
+crashed repository or over a down link count as drops; a crash fails
+the orphaned dependents over to the nearest live ancestor (charged as
+reconfiguration cost through the same
+:class:`~repro.core.dynamics.ReconfigurationDiff` machinery churn
+uses); a recovery anti-entropy-resyncs only the repository's missed
+update-set and then re-homes its dependents.  Fidelity is scored over
+availability segments, exactly like churn.
 """
 
 from __future__ import annotations
@@ -38,11 +49,13 @@ import numpy as np
 
 from repro.core.dissemination import DisseminationPolicy, make_policy
 from repro.core.dissemination.filtering import FILTERED_POLICIES, forward_distributed
-from repro.core.fidelity import FidelityAccumulator, loss_of_fidelity
+from repro.core.dynamics import ReconfigurationDiff
+from repro.core.fidelity import FidelityAccumulator, segmented_loss
 from repro.core.interests import InterestProfile
 from repro.core.metrics import CostCounters
 from repro.engine.builder import SimulationSetup, build_setup, make_membership
 from repro.engine.churn import ChurnEvent
+from repro.engine.failures import FailureEvent
 from repro.engine.config import SimulationConfig
 from repro.engine.results import SimulationResult
 from repro.errors import ConfigurationError, SimulationError
@@ -80,6 +93,13 @@ class DisseminationSimulation:
         self._churn = setup.config.churn
         self._membership = make_membership(setup) if self._churn is not None else None
         self._departed: set[int] = set()
+        # Unplanned-failure state (mutually exclusive with churn): the
+        # currently crashed repositories, the currently down service
+        # links, and -- when a schedule is present -- per-(child, item)
+        # parent maps so orphans can fail over and recoverers re-home.
+        self._failures = setup.config.failures
+        self._crashed: set[int] = set()
+        self._down_links: set[tuple[int, int]] = set()
         self._source_value: dict[int, float] = {}
         self._stations: dict[int, FifoStation] = {}
         # Per (node, item): list of (child, c_serve); precomputed for speed.
@@ -120,6 +140,7 @@ class DisseminationSimulation:
 
     def _prepare(self) -> None:
         self._root_of: dict[int, int] = {}
+        self._parent_of: dict[tuple[int, int], int] = {}
         for graph, root, item_ids in self._graphs():
             for node in graph.nodes:
                 if node not in self._stations:
@@ -132,6 +153,7 @@ class DisseminationSimulation:
                     if children:
                         self._children[(node, item_id)] = children
                         for child, c_serve in children:
+                            self._parent_of[(child, item_id)] = node
                             self.policy.register_edge(
                                 node, child, item_id, c_serve, initial
                             )
@@ -148,6 +170,10 @@ class DisseminationSimulation:
                 continue  # late joiner: scoring starts at its join event
             for item_id, c_own in profile.requirements.items():
                 self._segments[(repo, item_id)] = [[0.0, None, c_own]]
+        # Failover re-homes dependents, so remember where they started.
+        self._home_parent = (
+            dict(self._parent_of) if self._failures is not None else {}
+        )
 
     # ------------------------------------------------------------------
 
@@ -162,9 +188,9 @@ class DisseminationSimulation:
         self._process_at_node(root, item_id, value, decision.tag)
 
     def _on_delivery(self, node: int, item_id: int, value: float, tag) -> None:
-        if node in self._departed:
+        if node in self._departed or node in self._crashed:
             # The sender paid for the message, but the repository left
-            # while it was in flight: a reconfiguration drop.
+            # (or crashed) while it was in flight: a drop.
             self.counters.record_drop()
             return
         self.counters.record_delivery()
@@ -218,6 +244,13 @@ class DisseminationSimulation:
             departure = station.submit(now, self._comp_delay_s)
             arrival = departure + self.setup.network.delay_s(node, child)
             self.counters.record_message(node, is_source=is_source)
+            if self._down_links and (node, child) in self._down_links:
+                # Partition: the sender paid (queueing included) but the
+                # link ate the message.  Decided before the Bernoulli
+                # loss draw, so the loss stream is only consumed for
+                # messages that actually enter the network.
+                self.counters.record_drop()
+                continue
             if (
                 self._loss_rng is not None
                 and self._loss_rng.random() < self._loss_probability
@@ -333,6 +366,121 @@ class DisseminationSimulation:
             self._children.setdefault((parent, item_id), []).append((child, c_serve))
             self.policy.register_edge(parent, child, item_id, c_serve, initial)
 
+    # ------------------------------------------------------------------
+    # Unplanned-failure execution
+    # ------------------------------------------------------------------
+
+    def _on_failure(self, event: FailureEvent) -> None:
+        self._apply_failure(event, self.kernel.now)
+
+    def _apply_failure(self, event: FailureEvent, now: float) -> None:
+        """Apply one crash/recover/link event to the live run.
+
+        Shared verbatim by the vectorized kernel (which calls it from
+        its drain loop at the event's timestamp), so both engines make
+        identical reconfiguration and resync decisions.
+        """
+        if event.kind == "link_down":
+            self._down_links.add(event.link)
+            return
+        if event.kind == "link_up":
+            self._down_links.discard(event.link)
+            return
+        repo = event.repository
+        if event.kind == "crash":
+            self._crashed.add(repo)
+            # The repository is unavailable: close its open scoring
+            # segments (fidelity is only owed while it is up).
+            for (r, _item_id), segments in self._segments.items():
+                if r == repo and segments and segments[-1][1] is None:
+                    segments[-1][1] = now
+            self._fail_over(repo, now)
+        else:  # recover
+            self._crashed.discard(repo)
+            for (r, _item_id), segments in self._segments.items():
+                if r == repo and segments and segments[-1][1] is not None:
+                    segments.append([now, None, segments[-1][2]])
+            self._resync(repo, now)
+            self._restore_home(repo, now)
+
+    def _live_parent(self, node: int, item_id: int) -> int | None:
+        """The nearest non-crashed ancestor serving ``item_id`` above
+        ``node``, or ``None`` when the walk leaves the tree (the node
+        roots the item, as multi-source roots do)."""
+        parent = self._parent_of.get((node, item_id))
+        while parent is not None and parent in self._crashed:
+            parent = self._parent_of.get((parent, item_id))
+        return parent
+
+    def _fail_over(self, repo: int, now: float) -> None:
+        """Re-home the crashed repository's dependents to backup parents."""
+        moved: list[tuple[int, int, int, float, int]] = []
+        for (node, item_id), children in self._children.items():
+            if node != repo:
+                continue
+            backup = self._live_parent(repo, item_id)
+            if backup is None:
+                continue  # no live ancestor: dependents wait for recovery
+            for child, c_serve in children:
+                moved.append((repo, child, item_id, c_serve, backup))
+        if not moved:
+            return
+        diff = ReconfigurationDiff(
+            added=frozenset((b, ch, it, c) for _p, ch, it, c, b in moved),
+            removed=frozenset((p, ch, it, c) for p, ch, it, c, _b in moved),
+        )
+        self._apply_diff(diff, now)
+        for _parent, child, item_id, _c, backup in moved:
+            self._parent_of[(child, item_id)] = backup
+
+    def _restore_home(self, repo: int, now: float) -> None:
+        """Wire re-homed dependents back to their recovered home parent."""
+        moved: list[tuple[int, int, int, float]] = []
+        for (child, item_id), home in self._home_parent.items():
+            if home != repo:
+                continue
+            current = self._parent_of.get((child, item_id))
+            if current is None or current == repo:
+                continue
+            c_serve = self._receive_c.get((child, item_id))
+            if c_serve is None:
+                continue
+            moved.append((current, child, item_id, c_serve))
+        if not moved:
+            return
+        diff = ReconfigurationDiff(
+            added=frozenset((repo, ch, it, c) for _cur, ch, it, c in moved),
+            removed=frozenset(moved),
+        )
+        self._apply_diff(diff, now)
+        for _current, child, item_id, _c in moved:
+            self._parent_of[(child, item_id)] = repo
+
+    def _resync(self, repo: int, now: float) -> None:
+        """Anti-entropy resync of a recovered repository's stale copies.
+
+        Setdiscovery-style: one comparison against the live parent per
+        subscribed item (the discovery round), one transfer only for
+        items whose copy actually diverged while the repository was
+        down -- the missed update-set, never a full state transfer.
+        """
+        checks = 0
+        messages = 0
+        for node, item_id in sorted(self._receive_c):
+            if node != repo:
+                continue
+            provider = self._live_parent(repo, item_id)
+            if provider is None:
+                continue  # whole ancestry down: nothing fresher to pull
+            checks += 1
+            value = self._current_value(provider, item_id)
+            log = self._deliveries[(repo, item_id)]
+            if value != log[-1][1]:
+                log.append((now, value))
+                messages += 1
+        if checks:
+            self.counters.record_resync(checks, messages)
+
     def _current_value(self, node: int, item_id: int) -> float:
         """The copy ``node`` holds for ``item_id`` right now."""
         if node == self._root_of[item_id]:
@@ -364,6 +512,12 @@ class DisseminationSimulation:
             # (the kernel breaks time ties in scheduling order).
             for event in self._churn.events:
                 self.kernel.schedule_at(float(event.time), self._on_churn, event)
+        if self._failures is not None:
+            # Same tie-break contract as churn: a failure event and an
+            # update or delivery at the same instant apply the failure
+            # first (crash at t drops the delivery at t).
+            for event in self._failures.events:
+                self.kernel.schedule_at(float(event.time), self._on_failure, event)
         schedule = self._update_schedule()
         # tolist() yields plain Python floats/ints; scheduling the merged
         # time-sorted timeline enqueues the same (time, relative-order)
@@ -394,43 +548,23 @@ class DisseminationSimulation:
             recv_values = [entry[1] for entry in log]
             t0 = float(trace.times[0])
             t1 = float(trace.times[-1])
-            if len(segments) == 1 and segments[0][0] <= t0 and segments[0][1] is None:
-                # Static membership (or an untouched pair): score exactly
-                # as the churn-free engine always has, bit for bit.
-                loss = loss_of_fidelity(
-                    trace.times,
-                    trace.values,
-                    recv_times,
-                    recv_values,
-                    segments[0][2],
-                    t_start=t0,
-                    t_end=t1,
-                )
-            else:
-                weighted = 0.0
-                total = 0.0
-                for start, end, c_own in segments:
-                    seg_start = max(float(start), t0)
-                    seg_end = t1 if end is None else min(float(end), t1)
-                    if seg_end <= seg_start:
-                        continue
-                    seg_loss = loss_of_fidelity(
-                        trace.times,
-                        trace.values,
-                        recv_times,
-                        recv_values,
-                        c_own,
-                        t_start=seg_start,
-                        t_end=seg_end,
-                    )
-                    weighted += seg_loss * (seg_end - seg_start)
-                    total += seg_end - seg_start
-                if total <= 0.0:
-                    # The requirement was never live inside the
-                    # observation window (e.g. a join past the last
-                    # trace sample): nothing to score.
-                    continue
-                loss = weighted / total
+            # A single open segment covering t0 (static membership, no
+            # failure touched the pair) scores exactly as the churn-free
+            # engine always has, bit for bit; otherwise the loss is
+            # duration-weighted over the live intervals.  None means the
+            # requirement was never live inside the window (e.g. a join
+            # past the last trace sample): nothing to score.
+            loss = segmented_loss(
+                trace.times,
+                trace.values,
+                recv_times,
+                recv_values,
+                segments,
+                t0,
+                t1,
+            )
+            if loss is None:
+                continue
             accumulator.add(repo, item_id, loss)
             per_pair[(repo, item_id)] = loss
         extras: dict = {
@@ -440,6 +574,10 @@ class DisseminationSimulation:
         if self._membership is not None:
             extras["churn_events"] = len(self._churn)
             extras["final_members"] = len(self._membership.members)
+        if self._failures is not None:
+            extras["failure_events"] = len(self._failures)
+            extras["crashes"] = self._failures.count("crash")
+            extras["partitions"] = self._failures.count("link_down")
         return SimulationResult(
             loss_of_fidelity=accumulator.system_loss(),
             per_repository_loss=accumulator.per_repository(),

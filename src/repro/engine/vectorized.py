@@ -36,6 +36,16 @@ the event loop.  ``tests/engine/test_vectorized_golden.py`` pins
 bit-identical results (loss, per-pair losses, every counter field)
 across policies and workloads.
 
+Unplanned failures (:mod:`repro.engine.failures`) **are** supported:
+the drain loop applies pending failure events before each unit (the
+same tie-break the scalar kernel's event queue produces), arrivals at
+crashed repositories and sends over down links become drops before the
+Bernoulli loss stream is consumed, and failover/restore
+reconfigurations patch the edge-group arrays in the exact order the
+scalar ``_apply_diff`` wires them (for the centralised policy, the
+:class:`~repro.core.dissemination.filtering.ArraySourceTagger` replays
+the scalar tagger's remove/re-add transitions edge for edge).
+
 Not supported here -- the factory
 (:func:`~repro.engine.simulation.make_simulation`) falls back to the
 scalar engine for: churn schedules (mid-run membership rebuilds mutate
@@ -113,6 +123,7 @@ class VectorizedSimulation(DisseminationSimulation):
         for key in self._receive_c:
             if key not in gid_of:
                 gid_of[key] = len(gid_of)
+        self._gid_of = gid_of
 
         n = len(gid_of)
         self._g_node: list[int] = [0] * n
@@ -187,6 +198,16 @@ class VectorizedSimulation(DisseminationSimulation):
                     self.policy.unique_tolerances(item_id),
                     trace.initial_value,
                 )
+            if self._failures is not None:
+                # (item, quantised tolerance) -> number of edges serving
+                # at it; lets failover diffs replay the scalar policy's
+                # refcounted SourceTagger remove/re-add transitions on
+                # the array tagger without peeking at policy internals.
+                self._tol_count: dict[tuple[int, float], int] = {}
+                for (_node, item_id), children in self._children.items():
+                    for _child, c in children:
+                        key = (item_id, quantise_tolerance(c))
+                        self._tol_count[key] = self._tol_count.get(key, 0) + 1
 
     # ------------------------------------------------------------------
 
@@ -235,11 +256,27 @@ class VectorizedSimulation(DisseminationSimulation):
 
         arrivals = departures + self._g_delay[gid][mask]
         targets = self._g_child_gid[gid][mask]
-        if self._loss_rng is not None:
+        if self._down_links:
+            # Partition filter before the loss draw: the Bernoulli
+            # stream is only consumed for messages that actually enter
+            # the network, exactly like the scalar child loop.
+            down = self._down_links
+            node_of = self._g_node
+            kept_link = np.fromiter(
+                ((node, node_of[target]) not in down for target in targets.tolist()),
+                dtype=bool,
+                count=targets.size,
+            )
+            n_link_dropped = targets.size - int(np.count_nonzero(kept_link))
+            if n_link_dropped:
+                counters.drops += n_link_dropped
+                arrivals = arrivals[kept_link]
+                targets = targets[kept_link]
+        if self._loss_rng is not None and targets.size:
             # Same stream, same order: one batched draw consumes the
             # generator exactly like the scalar per-message draws.
-            kept = self._loss_rng.random(n_forward) >= self._loss_probability
-            dropped = n_forward - int(np.count_nonzero(kept))
+            kept = self._loss_rng.random(targets.size) >= self._loss_probability
+            dropped = int(targets.size) - int(np.count_nonzero(kept))
             if dropped:
                 counters.drops += dropped
                 arrivals = arrivals[kept]
@@ -259,11 +296,27 @@ class VectorizedSimulation(DisseminationSimulation):
         centralized = self._policy_kind == _CENTRALIZED
         root_gid = self._root_gid
         counters = self._acounters
+        track = self._failures is not None
+        fail_events = list(self._failures.events) if track else []
+        fi, nf = 0, len(fail_events)
         for unit in kernel.drain():
+            if fi < nf:
+                # Same tie-break as the scalar event queue (failures are
+                # scheduled before everything else at run() start): a
+                # failure at t applies before the update or delivery at t.
+                t_unit = source_times[unit] if type(unit) is int else unit[0]
+                while fi < nf and fail_events[fi].time <= t_unit:
+                    event = fail_events[fi]
+                    self._apply_failure(event, float(event.time))
+                    fi += 1
             if type(unit) is int:
                 # A fresh source update (static schedule index).
                 item_id = source_items[unit]
                 value = source_values[unit]
+                if track:
+                    # Keep the root's copy current for recovery resyncs
+                    # (the scalar _on_source_update does this first).
+                    self._source_value[item_id] = value
                 if centralized:
                     decision = self._tagger.examine(item_id, value)
                     if decision.checks:
@@ -281,6 +334,11 @@ class VectorizedSimulation(DisseminationSimulation):
             else:
                 # A delivery tuple: (time, seq, gid, value, tag).
                 t, _seq, gid, value, tag = unit
+                if self._crashed and self._g_node[gid] in self._crashed:
+                    # The sender paid for the message, but the repository
+                    # crashed while it was in flight: a drop.
+                    counters.drops += 1
+                    continue
                 counters.deliveries += 1
                 log = self._g_log[gid]
                 if log is not None:
@@ -297,10 +355,110 @@ class VectorizedSimulation(DisseminationSimulation):
                     counters.client_checks += int(tols.size)
                     counters.client_messages += served
                 self._process_group(gid, t, value, tag)
-        self.counters = counters.to_cost_counters()
+        while fi < nf:
+            # Events past the last unit still close/open scoring
+            # segments; the scalar kernel runs them too.
+            event = fail_events[fi]
+            self._apply_failure(event, float(event.time))
+            fi += 1
+        folded = counters.to_cost_counters()
+        if track:
+            # _apply_failure charged reconfiguration and resync cost
+            # into the scalar-side CostCounters; carry it over before
+            # the array totals replace them.
+            pre = self.counters
+            folded.reconfigurations = pre.reconfigurations
+            folded.edges_added = pre.edges_added
+            folded.edges_removed = pre.edges_removed
+            folded.resyncs = pre.resyncs
+            folded.resync_checks = pre.resync_checks
+            folded.resync_messages = pre.resync_messages
+        self.counters = folded
         return self._score(schedule.span)
+
+    # ------------------------------------------------------------------
+    # Failover / restore rewiring (unplanned failures)
+    # ------------------------------------------------------------------
+
+    def _apply_diff(self, diff, now: float, resync: frozenset = frozenset()) -> None:
+        """Mirror a failover/restore rewiring into the edge-group arrays.
+
+        The scalar base keeps the children maps, receive coherencies,
+        delivery logs and the registered scalar policy current; this
+        override then patches the struct-of-arrays mirrors edge for
+        edge, in the exact orders the base wires them (removals in
+        sorted-tuple order, additions root-downward per item tree), and
+        for the centralised policy replays the scalar ``SourceTagger``'s
+        refcounted remove/re-add transitions on the array tagger.
+        """
+        super()._apply_diff(diff, now, resync=resync)
+        centralized = self._policy_kind == _CENTRALIZED
+        gid_of = self._gid_of
+        for parent, child, item_id, c in sorted(diff.removed):
+            gid = gid_of[(parent, item_id)]
+            child_gid = gid_of[(child, item_id)]
+            hits = np.nonzero(self._g_child_gid[gid] == child_gid)[0]
+            if not hits.size:
+                raise SimulationError(
+                    f"edge group for node {parent} holds no dependent for "
+                    f"node {child}, item {item_id}"
+                )
+            i = int(hits[0])
+            self._g_child_gid[gid] = np.delete(self._g_child_gid[gid], i)
+            self._g_cs[gid] = np.delete(self._g_cs[gid], i)
+            self._g_last[gid] = np.delete(self._g_last[gid], i)
+            self._g_delay[gid] = np.delete(self._g_delay[gid], i)
+            if centralized:
+                tau = quantise_tolerance(c)
+                key = (item_id, tau)
+                count = self._tol_count[key] - 1
+                if count:
+                    self._tol_count[key] = count
+                else:
+                    # Last edge serving at this tolerance is gone: the
+                    # scalar policy's unregister_edge dropped it from the
+                    # SourceTagger too.
+                    del self._tol_count[key]
+                    self._tagger.remove_tolerance(item_id, tau)
+        graph = self._graph
+        network = self.setup.network
+        added = sorted(
+            diff.added, key=lambda e: (e[2], graph.item_depth(e[1], e[2]), e)
+        )
+        for parent, child, item_id, c in added:
+            gid = gid_of.get((parent, item_id))
+            if gid is None:
+                # Failover targets a live *ancestor*, which by definition
+                # already serves the item, so its group must exist.
+                raise SimulationError(
+                    f"no edge group for failover parent {parent}, item {item_id}"
+                )
+            # After the base class ran, the child's log tail IS the
+            # initial the scalar policy was primed with (re-homed
+            # children keep their copy; resynced ones just had the
+            # parent's current value appended).
+            initial = self._deliveries[(child, item_id)][-1][1]
+            tol = quantise_tolerance(c) if centralized else c
+            self._g_child_gid[gid] = np.append(
+                self._g_child_gid[gid], np.int64(gid_of[(child, item_id)])
+            )
+            self._g_cs[gid] = np.append(self._g_cs[gid], tol)
+            self._g_last[gid] = np.append(self._g_last[gid], initial)
+            self._g_delay[gid] = np.append(
+                self._g_delay[gid], network.delay_s(parent, child)
+            )
+            if centralized:
+                tkey = (item_id, tol)
+                count = self._tol_count.get(tkey, 0)
+                self._tol_count[tkey] = count + 1
+                if count == 0:
+                    self._tagger.add_tolerance(item_id, tol, initial)
 
     def _events_processed(self) -> int:
         if self._batch_kernel is None:
             return 0
-        return self._batch_kernel.events_processed
+        # The scalar kernel schedules each failure event as one discrete
+        # event; the batch drain applies them inline, so they are added
+        # back here to keep the result field bit-identical.
+        extra = len(self._failures.events) if self._failures is not None else 0
+        return self._batch_kernel.events_processed + extra

@@ -296,6 +296,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.pull_baseline",
     "repro.experiments.hybrid_tradeoff",
     "repro.experiments.churn_resilience",
+    "repro.experiments.failure_resilience",
     "repro.experiments.workload_sensitivity",
     "repro.experiments.live_crosscheck",
 )

@@ -20,17 +20,28 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.clients import ClientPopulation
-from repro.core.dissemination.filtering import EdgeFilter, SourceTagger
-from repro.core.fidelity import FidelityAccumulator, loss_of_fidelity
+from repro.core.dissemination.filtering import (
+    EdgeFilter,
+    SourceTagger,
+    quantise_tolerance,
+)
+from repro.core.fidelity import FidelityAccumulator, loss_of_fidelity, segmented_loss
 from repro.core.metrics import CostCounters
 from repro.core.tree import TreeStats
 from repro.engine.builder import SimulationSetup, build_setup
 from repro.engine.config import SimulationConfig
+from repro.engine.failures import FailureEvent, FailureSchedule
 from repro.errors import ConfigurationError
 from repro.live.nodes import ClientNode, RepositoryNode, SourceNode
 from repro.live.transport import TransportStats, make_transport
 
-__all__ = ["LiveNetwork", "LiveRunResult", "build_live_network", "run_live"]
+__all__ = [
+    "LiveNetwork",
+    "LiveFailureController",
+    "LiveRunResult",
+    "build_live_network",
+    "run_live",
+]
 
 
 @dataclass
@@ -119,6 +130,9 @@ class LiveNetwork:
         self.repositories = repositories
         #: transport node id -> client node.
         self.clients = clients
+        #: Set by :func:`build_live_network` when the config carries a
+        #: failure schedule; transports consult it for fault hooks.
+        self.failures: LiveFailureController | None = None
 
     def node(self, node_id: int):
         """The message handler for one destination node id."""
@@ -166,6 +180,258 @@ class LiveNetwork:
         return schedule
 
 
+class LiveFailureController:
+    """Executes a :class:`~repro.engine.failures.FailureSchedule` against
+    a built live network, mirroring the engine's failure semantics.
+
+    The controller is the live twin of the scalar engine's
+    ``_apply_failure``: a crash closes the repository's fidelity-scoring
+    segments and fails its dependents over to the nearest live ancestor
+    (same sorted rewiring order, same reconfiguration-cost charge); a
+    recovery reopens the segments, anti-entropy-resyncs only the copies
+    that diverged while the repository was down, and re-homes its
+    dependents.  Transports consult it two ways:
+
+    - the virtual-time transport schedules :meth:`apply_event` on its
+      kernel (before the source replay, reproducing the engine's
+      same-instant tie-break) and reads the mutable :attr:`crashed` /
+      :attr:`down` sets, making an in-process failure run bit-identical
+      to the simulation;
+    - the TCP transport applies events from a wall-clock task and uses
+      the precomputed half-open availability windows
+      (:meth:`crashed_at` / :meth:`link_down_at`) so racing frames are
+      judged by their logical times, not by mutable-set timing.
+    """
+
+    def __init__(self, network: LiveNetwork, schedule: FailureSchedule) -> None:
+        self.network = network
+        self.schedule = schedule
+        #: Currently crashed repositories / currently down service links
+        #: (kept current by :meth:`apply_event`).
+        self.crashed: set[int] = set()
+        self.down: set[tuple[int, int]] = set()
+        setup = network.setup
+        self._policy = setup.config.policy
+        graph = setup.graph
+        # Who serves whom, per item -- walked past crashed nodes to find
+        # failover targets, and restored on recovery.
+        self._parent_of: dict[tuple[int, int], int] = {}
+        for item_id in setup.traces:
+            for node in graph.nodes:
+                for child, _c in graph.children_for_item(node, item_id):
+                    self._parent_of[(child, item_id)] = node
+        self._home_parent = dict(self._parent_of)
+        #: Per (repository, item): fidelity-scoring availability segments
+        #: ``[start, end-or-None, c_own]``, same shape the engine scores.
+        self.segments: dict[tuple[int, int], list[list]] = {}
+        for repo, profile in setup.profiles.items():
+            for item_id, c_own in profile.requirements.items():
+                self.segments[(repo, item_id)] = [[0.0, None, c_own]]
+        self._crash_windows = schedule.crash_windows()
+        self._link_windows = schedule.link_windows()
+        if self._policy == "centralized":
+            # (item, quantised tolerance) -> number of serving edges;
+            # replays the sim policy's refcounted SourceTagger
+            # transitions during failover rewiring.
+            self._tol_count: dict[tuple[int, float], int] = {}
+            for item_id in setup.traces:
+                for node in graph.nodes:
+                    for _child, c in graph.children_for_item(node, item_id):
+                        key = (item_id, quantise_tolerance(c))
+                        self._tol_count[key] = self._tol_count.get(key, 0) + 1
+
+    # -- logical-time availability predicates (for the TCP transport) --
+
+    def crashed_at(self, node: int, t: float) -> bool:
+        """Was ``node`` inside a crash window at simulated time ``t``?
+
+        Windows are half-open ``[crash, recover)``, reproducing the
+        engine's tie-break: a message arriving exactly at the recovery
+        instant is delivered, one at the crash instant is dropped.
+        """
+        for start, end in self._crash_windows.get(node, ()):
+            if t >= start and (end is None or t < end):
+                return True
+        return False
+
+    def link_down_at(self, sender: int, receiver: int, t: float) -> bool:
+        """Was the (sender, receiver) service link down at time ``t``?"""
+        for start, end in self._link_windows.get((sender, receiver), ()):
+            if t >= start and (end is None or t < end):
+                return True
+        return False
+
+    # -- event execution (mirrors the engine's _apply_failure) --
+
+    def apply_event(self, event: FailureEvent, now: float) -> None:
+        """Apply one crash/recover/link event to the running network."""
+        if event.kind == "link_down":
+            self.down.add(event.link)
+            return
+        if event.kind == "link_up":
+            self.down.discard(event.link)
+            return
+        repo = event.repository
+        if event.kind == "crash":
+            self.crashed.add(repo)
+            for (r, _item_id), segments in self.segments.items():
+                if r == repo and segments and segments[-1][1] is None:
+                    segments[-1][1] = now
+            self._fail_over(repo, now)
+        else:  # recover
+            self.crashed.discard(repo)
+            for (r, _item_id), segments in self.segments.items():
+                if r == repo and segments and segments[-1][1] is not None:
+                    segments.append([now, None, segments[-1][2]])
+            self._resync(repo, now)
+            self._restore_home(repo, now)
+
+    # -- internals --
+
+    def _sender(self, node: int):
+        if node == self.network.source_node.node:
+            return self.network.source_node
+        return self.network.repositories[node]
+
+    def _live_parent(self, node: int, item_id: int) -> int | None:
+        parent = self._parent_of.get((node, item_id))
+        while parent is not None and parent in self.crashed:
+            parent = self._parent_of.get((parent, item_id))
+        return parent
+
+    def _current_value(self, node: int, item_id: int) -> float:
+        if node == self.network.source_node.node:
+            return self.network.source_node.values.get(
+                item_id, self.network.setup.traces[item_id].initial_value
+            )
+        return self.network.repositories[node].deliveries[item_id][-1][1]
+
+    def _fail_over(self, repo: int, now: float) -> None:
+        """Re-home the crashed repository's dependents to backup parents.
+
+        Client edges stay put: attached clients ride out the crash stale
+        (the engine's modeled-client plane behaves identically).
+        """
+        sender = self.network.repositories[repo]
+        moved: list[tuple[int, int, int, float, int]] = []
+        for item_id, edges in sender.edges.items():
+            backup = self._live_parent(repo, item_id)
+            if backup is None:
+                continue  # no live ancestor: dependents wait for recovery
+            for edge in edges:
+                if edge.is_client:
+                    continue
+                moved.append((repo, edge.child, item_id, edge.c_serve, backup))
+        if not moved:
+            return
+        self._apply_moves(
+            removed={(p, ch, it, c) for p, ch, it, c, _b in moved},
+            added={(b, ch, it, c) for _p, ch, it, c, b in moved},
+        )
+        for _parent, child, item_id, _c, backup in moved:
+            self._parent_of[(child, item_id)] = backup
+
+    def _restore_home(self, repo: int, now: float) -> None:
+        """Wire re-homed dependents back to their recovered home parent."""
+        moved: list[tuple[int, int, int, float]] = []
+        for (child, item_id), home in self._home_parent.items():
+            if home != repo:
+                continue
+            current = self._parent_of.get((child, item_id))
+            if current is None or current == repo:
+                continue
+            c_serve = self.network.repositories[child].receive_c.get(item_id)
+            if c_serve is None:
+                continue
+            moved.append((current, child, item_id, c_serve))
+        if not moved:
+            return
+        self._apply_moves(
+            removed=set(moved),
+            added={(repo, ch, it, c) for _cur, ch, it, c in moved},
+        )
+        for _current, child, item_id, _c in moved:
+            self._parent_of[(child, item_id)] = repo
+
+    def _apply_moves(self, removed: set, added: set) -> None:
+        """Tear down and wire service edges, engine-identically.
+
+        Removals run in sorted-tuple order, additions root-downward per
+        item tree -- the exact orders the engine's ``_apply_diff`` uses,
+        so the centralised tagger transitions and the edge-list order
+        (which fixes FIFO send order) match the simulation.
+        """
+        network = self.network
+        setup = network.setup
+        network.counters.record_reconfiguration(
+            n_added=len(added), n_removed=len(removed)
+        )
+        tagger = network.source_node.tagger
+        for parent, child, item_id, c in sorted(removed):
+            sender = self._sender(parent)
+            edges = sender.edges.get(item_id)
+            if edges is not None:
+                edges[:] = [
+                    e for e in edges if e.is_client or e.child != child
+                ]
+                if not edges:
+                    del sender.edges[item_id]
+            if tagger is not None:
+                tau = quantise_tolerance(c)
+                key = (item_id, tau)
+                count = self._tol_count[key] - 1
+                if count:
+                    self._tol_count[key] = count
+                else:
+                    del self._tol_count[key]
+                    tagger.remove_tolerance(item_id, tau)
+        graph = setup.graph
+        ordered = sorted(
+            added, key=lambda e: (e[2], graph.item_depth(e[1], e[2]), e)
+        )
+        for parent, child, item_id, c in ordered:
+            sender = self._sender(parent)
+            # A re-homed child keeps its own copy: prime the fresh edge
+            # filter with the child's current value, like the engine.
+            initial = network.repositories[child].deliveries[item_id][-1][1]
+            if tagger is not None:
+                tau = quantise_tolerance(c)
+                count = self._tol_count.get((item_id, tau), 0)
+                self._tol_count[(item_id, tau)] = count + 1
+                if count == 0:
+                    tagger.add_tolerance(item_id, tau, initial)
+            sender.add_edge(
+                item_id,
+                child,
+                c,
+                EdgeFilter(self._policy, c, initial),
+                setup.network.delay_s(parent, child),
+            )
+
+    def _resync(self, repo: int, now: float) -> None:
+        """Anti-entropy resync of a recovered repository's stale copies.
+
+        Setdiscovery-style: one comparison against the live parent per
+        subscribed item, one transfer only for items whose copy actually
+        diverged while the repository was down.
+        """
+        node = self.network.repositories[repo]
+        checks = 0
+        messages = 0
+        for item_id in sorted(node.receive_c):
+            provider = self._live_parent(repo, item_id)
+            if provider is None:
+                continue  # whole ancestry down: nothing fresher to pull
+            checks += 1
+            value = self._current_value(provider, item_id)
+            log = node.deliveries[item_id]
+            if value != log[-1][1]:
+                log.append((now, value))
+                messages += 1
+        if checks:
+            self.network.counters.record_resync(checks, messages)
+
+
 def _client_node_base(setup: SimulationSetup) -> int:
     """First transport node id free for clients (above the topology)."""
     return int(setup.network.routing.dist_ms.shape[0])
@@ -188,8 +454,12 @@ def build_live_network(
 
     Args:
         config: The run's full parameterisation.  Must be churn-free
-            (live membership is static for now) and loss-free (the
-            transports do not inject message loss).
+            (live membership is static for now); a failure schedule
+            (``config.failures``) and seeded message loss
+            (``config.message_loss_probability``) are both supported --
+            the transports execute them through the attached
+            :class:`LiveFailureController` and their own seeded
+            Bernoulli streams.
         clients: Optional end-client population to attach; each client
             becomes a dependent of its repository, filtered at its own
             tolerance.
@@ -198,18 +468,13 @@ def build_live_network(
             shares one build across population generation and the run).
 
     Raises:
-        ConfigurationError: on churn or loss-injection configs, or
-            clients attached to unknown repositories.
+        ConfigurationError: on churn configs, or clients attached to
+            unknown repositories.
     """
     if config.churn is not None:
         raise ConfigurationError(
             "the live network runs static membership; strip the churn "
             "schedule from the config before running live"
-        )
-    if config.message_loss_probability > 0.0:
-        raise ConfigurationError(
-            "the live network does not inject message loss; run with "
-            "message_loss_probability=0"
         )
     if setup is None:
         setup = build_setup(config)
@@ -296,7 +561,10 @@ def build_live_network(
                     is_client=True,
                 )
             client_nodes[node_id] = client_node
-    return LiveNetwork(setup, counters, source_node, repositories, client_nodes)
+    network = LiveNetwork(setup, counters, source_node, repositories, client_nodes)
+    if config.failures is not None:
+        network.failures = LiveFailureController(network, config.failures)
+    return network
 
 
 def _score(
@@ -311,6 +579,7 @@ def _score(
         if duration is not None:
             item_span = min(item_span, duration)
         span = max(span, item_span)
+    controller = network.failures
     for repo, profile in network.setup.profiles.items():
         node = network.repositories[repo]
         for item_id, c_own in profile.requirements.items():
@@ -320,15 +589,35 @@ def _score(
             t1 = float(trace.times[-1])
             if duration is not None:
                 t1 = min(t1, t0 + duration)
-            loss = loss_of_fidelity(
-                trace.times,
-                trace.values,
-                [entry[0] for entry in log],
-                [entry[1] for entry in log],
-                c_own,
-                t_start=t0,
-                t_end=t1,
-            )
+            recv_times = [entry[0] for entry in log]
+            recv_values = [entry[1] for entry in log]
+            if controller is not None:
+                # Duration-weight the loss over the intervals the
+                # repository was actually up -- the same segments, same
+                # arithmetic, the engine scores failure runs with.
+                loss = segmented_loss(
+                    trace.times,
+                    trace.values,
+                    recv_times,
+                    recv_values,
+                    controller.segments.get(
+                        (repo, item_id), [[0.0, None, c_own]]
+                    ),
+                    t0,
+                    t1,
+                )
+                if loss is None:
+                    continue  # never up inside the window: nothing owed
+            else:
+                loss = loss_of_fidelity(
+                    trace.times,
+                    trace.values,
+                    recv_times,
+                    recv_values,
+                    c_own,
+                    t_start=t0,
+                    t_end=t1,
+                )
             accumulator.add(repo, item_id, loss)
             per_pair[(repo, item_id)] = loss
     return accumulator, per_pair, span
@@ -369,10 +658,20 @@ def run_live(
     time_scale: float = 60.0,
     jitter_ms: float = 0.0,
     quiesce_timeout_s: float = 30.0,
+    heartbeat_interval_s: float = 0.5,
+    reconnect_backoff_s: float = 0.05,
+    reconnect_attempts: int = 5,
     clients: ClientPopulation | None = None,
     network: LiveNetwork | None = None,
 ) -> LiveRunResult:
     """Build, run and score one live network end to end.
+
+    Failure schedules (``config.failures``) and seeded message loss
+    (``config.message_loss_probability``) run for real: both transports
+    drop by schedule and by their seeded Bernoulli streams, the TCP
+    transport additionally heartbeats its connections and reconnects
+    severed ones with exponential backoff, and fidelity is scored over
+    the availability segments exactly like the engine.
 
     Args:
         config: The run's full parameterisation (identical to what a
@@ -385,7 +684,15 @@ def run_live(
         time_scale: Simulated seconds per wall second (TCP only).
         jitter_ms: Seeded per-delivery jitter bound (in-process only).
         quiesce_timeout_s: Wall seconds TCP waits for in-flight
-            messages after the replay before counting them as drops.
+            messages after the replay before counting them as drops
+            (scaled up internally when ``time_scale`` runs slower than
+            the 60x default).
+        heartbeat_interval_s: Wall seconds between TCP liveness probes
+            per connection (failure runs only; 0 disables).
+        reconnect_backoff_s: Base of the TCP reconnect exponential
+            backoff.
+        reconnect_attempts: Reconnect attempts before a frame is
+            dropped.
         clients: Optional end-client population to attach (ignored when
             ``network`` is given).
         network: Optional prebuilt network for exactly this config.
@@ -400,6 +707,10 @@ def run_live(
         jitter_ms=jitter_ms,
         time_scale=time_scale,
         quiesce_timeout_s=quiesce_timeout_s,
+        loss_probability=config.message_loss_probability,
+        heartbeat_interval_s=heartbeat_interval_s,
+        reconnect_backoff_s=reconnect_backoff_s,
+        reconnect_attempts=reconnect_attempts,
     )
     start = time.perf_counter()
     stats: TransportStats = driver.run(network, duration=duration)
@@ -417,6 +728,17 @@ def run_live(
             node.client_messages
             for node in (network.source_node, *network.repositories.values())
         )
+    if network.failures is not None:
+        schedule = network.failures.schedule
+        extras["failure_events"] = len(schedule)
+        extras["crashes"] = schedule.count("crash")
+        extras["partitions"] = schedule.count("link_down")
+        heartbeats = getattr(stats, "heartbeats", 0)
+        if heartbeats:
+            extras["heartbeats"] = heartbeats
+        reconnects = getattr(stats, "reconnects", 0)
+        if reconnects:
+            extras["reconnects"] = reconnects
     return LiveRunResult(
         loss_of_fidelity=accumulator.system_loss(),
         per_repository_loss=accumulator.per_repository(),

@@ -128,13 +128,17 @@ def run_loadgen(
     duration: float | None = None,
     time_scale: float = 60.0,
     seed: int | None = None,
+    **transport_knobs,
 ) -> LoadgenReport:
     """Run a live network with ``n_clients`` attached and report per-client
     observed fidelity plus the requirement-met table.
 
     The expensive setup (topology, traces, LeLA ``d3g``) is built once
     and shared by population generation, the network build and the
-    served-coherency table.
+    served-coherency table.  Extra keyword arguments (heartbeat and
+    reconnect knobs) pass through to :func:`~repro.live.harness.
+    run_live`; failure schedules and message loss configured on
+    ``config`` are honoured exactly as in a client-free run.
     """
     setup = build_setup(config)
     population = generate_clients(config, n_clients, seed=seed, setup=setup)
@@ -145,6 +149,7 @@ def run_loadgen(
         duration=duration,
         time_scale=time_scale,
         network=network,
+        **transport_knobs,
     )
     # The coherency each repository actually receives each item at is
     # what it can serve clients with.

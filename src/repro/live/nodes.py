@@ -152,9 +152,14 @@ class SourceNode(_ForwardingNode):
         super().__init__(node, comp_delay_s, counters)
         self.tagger = tagger
         self._seq = 0
+        #: item_id -> freshest workload value seen, disseminated or not;
+        #: recovery resyncs pull from here when the live parent is the
+        #: source (the engine's ``_source_value`` equivalent).
+        self.values: dict[int, float] = {}
 
     def on_update(self, item_id: int, value: float, now: float) -> list[Outbound]:
         """Handle one fresh workload update at the source."""
+        self.values[item_id] = value
         self._seq += 1
         tag: float | None = None
         if self.tagger is not None:

@@ -10,6 +10,10 @@ Message types (the ``"type"`` field):
 
 - ``update`` -- one data-item update flowing down the ``d3g``
   (:class:`Update`);
+- ``heartbeat`` -- connection liveness probe the TCP transport sends
+  between updates so severed peers are noticed and reconnected
+  (:class:`Heartbeat`); carries no data and stays out of the
+  wire-conservation accounting;
 - ``bye`` -- orderly teardown marker sent by the harness
   (:class:`Bye`).
 
@@ -31,6 +35,7 @@ from repro.errors import ReproError
 __all__ = [
     "ProtocolError",
     "Update",
+    "Heartbeat",
     "Bye",
     "Message",
     "encode_message",
@@ -75,6 +80,15 @@ class Update:
 
 
 @dataclass(frozen=True)
+class Heartbeat:
+    """Liveness probe between updates; receivers discard it silently."""
+
+    src: int
+
+    type: str = "heartbeat"
+
+
+@dataclass(frozen=True)
 class Bye:
     """Orderly end-of-stream marker; receivers drain and close."""
 
@@ -83,9 +97,9 @@ class Bye:
     type: str = "bye"
 
 
-Message = Update | Bye
+Message = Update | Heartbeat | Bye
 
-_DECODERS = {"update": Update, "bye": Bye}
+_DECODERS = {"update": Update, "heartbeat": Heartbeat, "bye": Bye}
 
 
 def encode_message(message: Message) -> bytes:

@@ -28,6 +28,7 @@ def test_registry_knows_every_experiment_in_paper_order():
         "pull_baseline",
         "hybrid_tradeoff",
         "churn_resilience",
+        "failure_resilience",
         "workload_sensitivity",
         "live_crosscheck",
     ]

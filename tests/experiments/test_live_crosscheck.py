@@ -1,6 +1,7 @@
 """The live_crosscheck experiment: registry wiring and agreement."""
 
 import json
+import socket
 
 import pytest
 
@@ -12,6 +13,10 @@ pytestmark = pytest.mark.live
 #: Shrunk grid so the cross-check runs in about a second.
 TINY = dict(n_repositories=10, n_routers=30, n_items=3, trace_samples=250)
 
+#: The TCP failure leg is exercised by one dedicated test below; the
+#: wiring tests skip it to stay fast.
+NO_TCP = {"tcp": "off"}
+
 
 def _ctx(**extra_params):
     spec = api.get_experiment("live_crosscheck")
@@ -22,38 +27,88 @@ def _ctx(**extra_params):
     )
 
 
+def _require_localhost_sockets():
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            probe.bind(("127.0.0.1", 0))
+        finally:
+            probe.close()
+    except OSError as exc:  # pragma: no cover - sandboxed environments
+        pytest.skip(f"cannot bind localhost sockets here: {exc}")
+
+
 def test_registered_with_policy_parameters():
     spec = api.get_experiment("live_crosscheck")
     assert spec.description
     names = [p.name for p in spec.params]
-    assert names == ["policies", "fidelity_tol", "message_tol"]
+    assert names == [
+        "policies", "fidelity_tol", "message_tol",
+        "failure_crashes", "failure_partitions", "failure_loss",
+        "failure_seed", "tcp", "tcp_time_scale",
+    ]
 
 
-def test_plan_is_one_config_per_policy():
+def test_plan_is_one_plain_and_one_failure_config_per_policy():
     spec, ctx = _ctx()
     plan = spec.plan(ctx)
-    assert [c.policy for c in plan] == ["distributed", "centralized"]
-    assert all(c.n_repositories == TINY["n_repositories"] for c in plan)
+    assert [c.policy for c in plan] == [
+        "distributed", "centralized", "distributed", "centralized"
+    ]
+    plain, failure = plan[:2], plan[2:]
+    assert all(c.n_repositories == TINY["n_repositories"] for c in plain)
+    assert all(c.failures is None for c in plain)
+    assert all(c.failures is not None for c in failure)
+    assert all(c.message_loss_probability > 0.0 for c in failure)
 
 
 def test_crosscheck_agrees_and_reports(tmp_path):
     payload = api.run_experiment(
-        "live_crosscheck", preset="tiny", overrides=TINY
+        "live_crosscheck", preset="tiny", overrides=TINY, params=NO_TCP
     )
     assert payload["agreement"] is True
     for policy in ("distributed", "centralized"):
-        row = payload["policies"][policy]
-        assert row["conserved"] is True
-        assert row["live_sent"] == row["live_delivered"] + row["live_dropped"]
-        assert row["delta_loss_pp"] <= payload["fidelity_tol_pp"]
-        assert row["message_delta_pct"] <= payload["message_tol_pct"]
-        # The two planes share one code path: agreement is exact today.
-        assert row["delta_loss_pp"] == 0.0
-        assert row["sim_messages"] == row["live_messages"]
+        for section in ("policies", "failure_policies"):
+            row = payload[section][policy]
+            assert row["conserved"] is True
+            assert (
+                row["live_sent"]
+                == row["live_delivered"] + row["live_dropped"]
+            )
+            assert row["delta_loss_pp"] <= payload["fidelity_tol_pp"]
+            assert row["message_delta_pct"] <= payload["message_tol_pct"]
+            # The two planes share one code path: agreement is exact
+            # today -- even under crashes, partitions and seeded loss.
+            assert row["delta_loss_pp"] == 0.0
+            assert row["sim_messages"] == row["live_messages"]
+    assert payload["failures"]["crashes"] == 1
+    assert payload["failures"]["partitions"] == 1
+    failure_row = payload["failure_policies"]["distributed"]
+    assert failure_row["live_dropped"] > 0
+    assert failure_row["sim_drops"] == failure_row["live_drops"]
+    assert payload["tcp"] == {"ran": False, "reason": "disabled (tcp=off)"}
     # The payload is artifact-serialisable.
     path = api.write_artifact(tmp_path, "live_crosscheck", "tiny", {}, payload)
     document = json.loads(path.read_text())
     assert document["payload"]["agreement"] is True
+
+
+def test_crosscheck_tcp_failure_leg():
+    """Sim and live TCP agree under crashes + partitions + loss."""
+    _require_localhost_sockets()
+    payload = api.run_experiment(
+        "live_crosscheck",
+        preset="tiny",
+        overrides=TINY,
+        params={"policies": "distributed", "tcp": "on"},
+    )
+    tcp = payload["tcp"]
+    assert tcp["ran"] is True
+    assert tcp["policy"] == "distributed"
+    assert tcp["conserved"] is True
+    assert tcp["live_sent"] == tcp["live_delivered"] + tcp["live_dropped"]
+    assert tcp["live_dropped"] > 0  # loss + failures really dropped frames
+    assert tcp["delta_loss_pp"] <= payload["fidelity_tol_pp"]
 
 
 def test_crosscheck_single_policy_param():
@@ -61,13 +116,14 @@ def test_crosscheck_single_policy_param():
         "live_crosscheck",
         preset="tiny",
         overrides=TINY,
-        params={"policies": "flooding"},
+        params={"policies": "flooding", **NO_TCP},
     )
     assert list(payload["policies"]) == ["flooding"]
+    assert list(payload["failure_policies"]) == ["flooding"]
 
 
 def test_crosscheck_raises_on_disagreement():
-    spec, ctx = _ctx(fidelity_tol=-1.0)  # impossible tolerance
+    spec, ctx = _ctx(fidelity_tol=-1.0, tcp="off")  # impossible tolerance
     results = api.execute_plan(spec.plan(ctx))
     with pytest.raises(SimulationError):
         spec.collect(ctx, tuple(results))
@@ -75,8 +131,10 @@ def test_crosscheck_raises_on_disagreement():
 
 def test_render_mentions_every_policy():
     payload = api.run_experiment(
-        "live_crosscheck", preset="tiny", overrides=TINY
+        "live_crosscheck", preset="tiny", overrides=TINY, params=NO_TCP
     )
     text = api.get_experiment("live_crosscheck").render(payload)
     assert "distributed" in text and "centralized" in text
+    assert "failure leg" in text
+    assert "tcp: skipped" in text
     assert "agreement" in text

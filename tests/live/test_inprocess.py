@@ -108,9 +108,45 @@ def test_live_rejects_churn_configs():
         build_live_network(churned)
 
 
-def test_live_rejects_loss_injection():
-    with pytest.raises(ConfigurationError):
-        build_live_network(CONFIG.with_(message_loss_probability=0.1))
+def test_live_loss_injection_matches_simulator_exactly():
+    """``message_loss_probability > 0`` is real support, not a rejection:
+    both planes consume the shared seeded loss stream in engine order."""
+    config = CONFIG.with_(message_loss_probability=0.05)
+    sim = run_simulation(config)
+    live = run_live(config)
+    assert live.dropped > 0
+    assert live.conserved
+    assert live.loss_of_fidelity == sim.loss_of_fidelity
+    assert live.counters.drops == sim.counters.drops
+    assert live.counters.messages == sim.counters.messages
+    assert live.extras["per_pair_loss"] == sim.extras["per_pair_loss"]
+
+
+@pytest.mark.parametrize("policy", ["distributed", "centralized"])
+def test_live_failures_match_simulator_exactly(policy):
+    """Crashes, partitions and loss under one shared schedule: the
+    in-process transport shares the simulator's virtual-time kernel, so
+    agreement stays bit-exact even mid-failover and mid-resync."""
+    from repro.engine.failures import failures_for_config
+
+    base = CONFIG.with_(policy=policy, message_loss_probability=0.02)
+    config = base.with_(
+        failures=failures_for_config(base, crashes=2, partitions=1)
+    )
+    sim = run_simulation(config.with_(kernel="scalar"))
+    live = run_live(config)
+    assert live.conserved
+    assert live.dropped > 0
+    assert live.loss_of_fidelity == sim.loss_of_fidelity
+    assert live.per_repository_loss == sim.per_repository_loss
+    assert live.counters == sim.counters
+    assert live.extras["per_pair_loss"] == sim.extras["per_pair_loss"]
+    assert live.extras["crashes"] == 2 and live.extras["partitions"] == 1
+    # The failure economy really ran: failover re-homed orphans and
+    # each recovery replayed one anti-entropy resync.
+    assert live.counters.edges_added > 0
+    assert live.counters.resyncs == 2
+    assert live.counters.resync_messages <= live.counters.resync_checks
 
 
 def test_live_rejects_unknown_transport_and_bad_duration():

@@ -82,6 +82,32 @@ def test_loadgen_counts_client_traffic_separately():
     assert crowded.result.conserved
 
 
+def test_loadgen_runs_through_a_failover():
+    """Clients ride out their repository's crash window: the run stays
+    conserved and deterministic, every requirement is still scored, and
+    the degraded window shows up as real observed loss, not an error."""
+    from repro.engine.failures import failures_for_config
+
+    base = CONFIG.with_(message_loss_probability=0.01)
+    config = base.with_(
+        failures=failures_for_config(base, crashes=2, partitions=1)
+    )
+    report = run_loadgen(config, 16, duration=120.0)
+    assert report.result.conserved
+    assert report.result.dropped > 0
+    assert report.result.extras["crashes"] == 2
+    assert report.result.counters.edges_added > 0  # failover re-homed
+    assert len(report.clients) == 16
+    for client in report.clients:
+        assert set(client.observed_loss) == set(client.requirements)
+        for loss in client.observed_loss.values():
+            assert 0.0 <= loss <= 100.0
+    again = run_loadgen(config, 16, duration=120.0)
+    assert [c.observed_loss for c in again.clients] == [
+        c.observed_loss for c in report.clients
+    ]
+
+
 def test_loadgen_rejects_empty_population():
     with pytest.raises(ConfigurationError):
         run_loadgen(CONFIG, 0)

@@ -1,10 +1,13 @@
 """Localhost TCP smoke: real sockets, real frames, conserved messages."""
 
+import asyncio
 import socket
 
 import pytest
 
 from repro.engine.config import SimulationConfig
+from repro.engine.failures import failures_for_config
+from repro.engine.simulation import run_simulation
 from repro.live.harness import run_live
 from repro.live.transport import TcpTransport, make_transport
 from repro.errors import ConfigurationError
@@ -44,6 +47,88 @@ def test_tcp_observes_fidelity_from_real_deliveries():
     # Every repository scored; observed loss is a valid percentage.
     assert len(result.per_repository_loss) == CONFIG.n_repositories
     assert 0.0 <= result.loss_of_fidelity <= 100.0
+
+
+def test_tcp_quiescence_survives_timeout(monkeypatch):
+    """A timed-out quiescence wait must end the run, not crash it.
+
+    ``asyncio.wait_for`` raises ``asyncio.TimeoutError`` on 3.10 and the
+    builtin ``TimeoutError`` on 3.11+; the transport catches both.  Here
+    the quiescence wait is forced to time out with the 3.10-flavoured
+    exception and the run must still finish with exact reconciliation
+    (whatever was abandoned in flight becomes a counted drop).
+    """
+    sentinel = 7.5  # far above any sender-loop delay at time_scale=800
+    real_wait_for = asyncio.wait_for
+
+    async def impatient_wait_for(awaitable, timeout=None):
+        if timeout is not None and timeout >= sentinel:
+            if asyncio.iscoroutine(awaitable):
+                awaitable.close()
+            raise asyncio.TimeoutError()
+        return await real_wait_for(awaitable, timeout=timeout)
+
+    monkeypatch.setattr(asyncio, "wait_for", impatient_wait_for)
+    result = run_live(
+        CONFIG,
+        "tcp",
+        duration=40.0,
+        time_scale=800.0,
+        quiesce_timeout_s=sentinel,
+    )
+    assert result.transport == "tcp"
+    assert result.conserved
+    assert result.sent == result.delivered + result.dropped
+    assert 0.0 <= result.loss_of_fidelity <= 100.0
+
+
+def test_tcp_slow_time_scale_stretches_budgets_and_conserves():
+    """Satellite pin: wall budgets scale by ``1/time_scale`` (capped).
+
+    At a slow pace, in-flight wall times stretch; the fixed 2 s drain
+    and 30 s quiescence budgets of the 60x default would truncate a
+    healthy run into phantom drops.  The scaled budgets keep a slow run
+    loss-free and conserved.
+    """
+    assert TcpTransport(time_scale=60.0)._wall_factor == 1.0
+    assert TcpTransport(time_scale=20.0)._wall_factor == pytest.approx(3.0)
+    assert TcpTransport(time_scale=1.0)._wall_factor == 20.0  # capped
+    assert TcpTransport(time_scale=800.0)._wall_factor == 1.0
+
+    result = run_live(CONFIG, "tcp", duration=20.0, time_scale=20.0)
+    assert result.conserved
+    assert result.dropped == 0
+    assert result.delivered == result.sent
+
+
+def test_tcp_failure_smoke_conserves_under_crashes_and_loss():
+    """Crashes, a partition and seeded loss over real sockets.
+
+    Conservation stays *exact* (the drop economy is judged at logical
+    arrival times) while the message volume only tracks the simulator
+    within a tolerance: over TCP the failover rewiring lands at wall
+    time, so which edges exist when a frame is generated has wall-clock
+    wiggle at an aggressive time scale.  The tight cross-plane bounds
+    live in ``live_crosscheck`` at a gentle time scale.
+    """
+    base = CONFIG.with_(message_loss_probability=0.01)
+    config = base.with_(
+        failures=failures_for_config(base, crashes=1, partitions=1)
+    )
+    sim = run_simulation(config)
+    result = run_live(
+        config, "tcp", time_scale=800.0, heartbeat_interval_s=0.01
+    )
+    assert result.conserved
+    assert result.sent == result.delivered + result.dropped
+    assert result.dropped > 0
+    assert abs(result.sent - sim.counters.messages) <= max(
+        4, sim.counters.messages // 10
+    )
+    assert result.extras["crashes"] == 1
+    assert result.extras["partitions"] == 1
+    assert result.extras["heartbeats"] > 0
+    assert result.extras["reconnects"] >= 0
 
 
 def test_tcp_transport_validates_parameters():

@@ -199,6 +199,7 @@ def test_run_all_knows_every_experiment():
         "pull_baseline",
         "hybrid_tradeoff",
         "churn_resilience",
+        "failure_resilience",
         "workload_sensitivity",
         "live_crosscheck",
     }
