@@ -7,6 +7,7 @@ Examples::
     python -m repro --controlled --offered 100   # Eq. (2) picks the degree
     python -m repro --degrees 1,2,4,8 --jobs 4   # parallel degree sweep
     python -m repro --churn 2,1,2                # mid-run membership churn
+    python -m repro --adaptive window=30,threshold=0.75  # online rewiring
     python -m repro --workload flash_crowd:intensity=1.2
     python -m repro --workload replay:path=my_traces/
 
@@ -37,6 +38,7 @@ from repro.engine import (
     run_sweep,
     schedule_for_config,
 )
+from repro.engine.adaptive import parse_adaptive_spec
 from repro.engine.churn import parse_churn_spec
 from repro.engine.failures import failures_for_config, parse_failure_spec
 from repro.errors import ConfigurationError
@@ -65,6 +67,13 @@ def _churn_counts(text: str) -> tuple[int, int, int]:
 def _failure_counts(text: str) -> tuple[int, int]:
     try:
         return parse_failure_spec(text)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _adaptive_spec(text: str):
+    try:
+        return parse_adaptive_spec(text)
     except ConfigurationError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
@@ -131,6 +140,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="synthetic unplanned failures: C repository crash/recover "
         "pairs and P link down/up windows, placed by a schedule derived "
         "from the seed (see repro.engine.failures)",
+    )
+    parser.add_argument(
+        "--adaptive", type=_adaptive_spec, default=None, metavar="K=V,...",
+        help="online drift-triggered re-optimization, e.g. "
+        "window=30,threshold=0.75,cooldown=0,scope=subtree,max_rewires=8 "
+        "(empty value = defaults; see repro.engine.adaptive)",
     )
     parser.add_argument(
         "--workload", type=_workload_spec, default=None, metavar="NAME[:K=V,...]",
@@ -297,6 +312,13 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: the config's, normally 0)",
         )
         sub.add_argument(
+            "--adaptive", dest="live_adaptive", type=_adaptive_spec,
+            default=None, metavar="K=V,...",
+            help="arm drift-triggered online re-optimization "
+            "(window/threshold/cooldown/scope/max_rewires; empty value = "
+            "defaults; inprocess transport only)",
+        )
+        sub.add_argument(
             "--heartbeat-interval", type=float, default=0.5, metavar="S",
             help="tcp liveness-probe period in wall seconds; 0 disables "
             "(default: 0.5; ignored by inprocess)",
@@ -428,6 +450,8 @@ def _live_config(args):
         overrides["seed"] = args.live_seed
     if args.live_loss is not None:
         overrides["message_loss_probability"] = args.live_loss
+    if args.live_adaptive is not None:
+        overrides["adaptive"] = args.live_adaptive
     config = preset_config(args.live_preset, **overrides)
     if args.live_failures is not None:
         crashes, partitions = args.live_failures
@@ -476,6 +500,13 @@ def _live_run(args) -> None:
             print(f"heartbeats/reconnects     : "
                   f"{result.extras['heartbeats']}"
                   f"/{result.extras['reconnects']}")
+    if args.live_adaptive is not None:
+        print(f"drift ticks/triggered     : "
+              f"{result.extras.get('adaptive_ticks', 0)}"
+              f"/{result.extras.get('adaptive_triggered', 0)}")
+        print(f"adaptive rewires          : "
+              f"{result.extras.get('adaptive_rewires', 0)} "
+              f"({result.counters.resubscriptions} resubscriptions)")
 
 
 def _live_loadgen(args) -> None:
@@ -550,6 +581,9 @@ def main(argv: list[str] | None = None) -> None:
     if args.clients is not None:
         overrides["clients_per_repository"] = args.clients
 
+    if args.adaptive is not None:
+        overrides["adaptive"] = args.adaptive
+
     config = preset_config(args.preset, **overrides)
     if args.churn is not None:
         joins, departs, updates = args.churn
@@ -612,6 +646,13 @@ def main(argv: list[str] | None = None) -> None:
         print(f"resyncs (checks/msgs) : {result.counters.resyncs} "
               f"({result.counters.resync_checks}"
               f"/{result.counters.resync_messages})")
+    if args.adaptive is not None:
+        print(f"drift ticks/triggered : {result.extras.get('adaptive_ticks', 0)}"
+              f"/{result.extras.get('adaptive_triggered', 0)}")
+        print(f"adaptive rewires      : "
+              f"{result.extras.get('adaptive_rewires', 0)}")
+        print(f"reconfiguration cost  : {result.reconfiguration_cost} "
+              "resubscriptions")
 
 
 if __name__ == "__main__":

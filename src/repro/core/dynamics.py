@@ -24,7 +24,7 @@ from repro.core.preference import PreferenceFunction, preference_p1
 from repro.core.tree import DisseminationGraph
 from repro.errors import TreeConstructionError
 
-__all__ = ["ReconfigurationDiff", "DynamicMembership"]
+__all__ = ["ReconfigurationDiff", "DynamicMembership", "edges_of"]
 
 #: One service edge: (parent, child, item, serve coherency).
 _Edge = tuple[int, int, int, float]
@@ -48,7 +48,13 @@ class ReconfigurationDiff:
         return not self.added and not self.removed
 
 
-def _edges_of(graph: DisseminationGraph) -> frozenset:
+def edges_of(graph: DisseminationGraph) -> frozenset:
+    """All service edges of ``graph`` as ``(parent, child, item, c)`` tuples.
+
+    The canonical edge representation diffed by
+    :class:`ReconfigurationDiff` consumers (membership churn, failure
+    failover and adaptive re-optimization all compare graphs this way).
+    """
     edges: set[_Edge] = set()
     for node, state in graph.nodes.items():
         for child, items in state.children.items():
@@ -57,6 +63,10 @@ def _edges_of(graph: DisseminationGraph) -> frozenset:
                     (node, child, item_id, graph.nodes[child].receive_c[item_id])
                 )
     return frozenset(edges)
+
+
+#: Backwards-compatible private alias (pre-adaptive callers).
+_edges_of = edges_of
 
 
 class DynamicMembership:

@@ -27,7 +27,7 @@ from repro.core.interests import InterestProfile
 from repro.core.preference import PreferenceFunction, preference_p1
 from repro.core.tree import DisseminationGraph
 
-__all__ = ["LelaBuilder", "build_d3g"]
+__all__ = ["LelaBuilder", "build_d3g", "reoptimize_d3g"]
 
 
 @dataclass
@@ -54,6 +54,12 @@ class LelaBuilder:
             the minimum preference become parents (paper default 5%).
         rng: Random stream used when augmentation must pick among a
             node's existing parents (the paper picks randomly).
+        node_load: Optional observed-load weights, ``node -> load >= 0``.
+            A candidate's preference is scaled by ``1 + load`` before the
+            level ranking, so hot nodes (as measured by a running kernel)
+            are demoted and drift-driven re-optimization steers newcomers
+            away from them.  Empty/absent loads reproduce plain LeLA
+            bit-exactly.
     """
 
     def __init__(
@@ -64,15 +70,22 @@ class LelaBuilder:
         preference: PreferenceFunction = preference_p1,
         p_percent: float = 5.0,
         rng: np.random.Generator | None = None,
+        node_load: dict[int, float] | None = None,
     ) -> None:
         if p_percent < 0:
             raise TreeConstructionError(f"p_percent must be >= 0, got {p_percent!r}")
+        for node, load in (node_load or {}).items():
+            if not np.isfinite(load) or load < 0:
+                raise TreeConstructionError(
+                    f"node_load[{node}] must be finite and >= 0, got {load!r}"
+                )
         self.graph = DisseminationGraph(source)
         self._comm_delay_ms = comm_delay_ms
         self._offered_degree = offered_degree
         self._preference = preference
         self._p_percent = p_percent
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._node_load = dict(node_load) if node_load else {}
 
     # ------------------------------------------------------------------
 
@@ -108,6 +121,11 @@ class LelaBuilder:
                 self.graph.nodes[node].n_dependents,
                 len(serveable),
             )
+            load = self._node_load.get(node)
+            if load:
+                # Lower preference wins: scaling by observed load demotes
+                # hot nodes without ever disqualifying them outright.
+                pref *= 1.0 + load
             scored.append(_Candidate(node=node, preference=pref, serveable=serveable))
         if not scored:
             return []
@@ -236,6 +254,7 @@ def build_d3g(
     preference: PreferenceFunction = preference_p1,
     p_percent: float = 5.0,
     rng: np.random.Generator | None = None,
+    node_load: dict[int, float] | None = None,
 ) -> DisseminationGraph:
     """Convenience wrapper: build the full ``d3g`` in one call.
 
@@ -248,6 +267,8 @@ def build_d3g(
         preference: Preference factor (default: paper's P1).
         p_percent: Load-controller admission band (default 5%).
         rng: Random stream for augmentation's random-parent rule.
+        node_load: Observed-load weights demoting hot candidates (see
+            :class:`LelaBuilder`).  ``None``/empty is plain LeLA.
 
     Returns:
         The constructed, validated :class:`DisseminationGraph`.
@@ -264,7 +285,41 @@ def build_d3g(
         preference=preference,
         p_percent=p_percent,
         rng=rng,
+        node_load=node_load,
     )
     graph = builder.insert_all(profiles)
     graph.validate(max_dependents=budgets)
     return graph
+
+
+def reoptimize_d3g(
+    profiles: list[InterestProfile],
+    source: int,
+    comm_delay_ms,
+    offered_degree: dict[int, int] | int,
+    preference: PreferenceFunction = preference_p1,
+    p_percent: float = 5.0,
+    rng: np.random.Generator | None = None,
+    node_load: dict[int, float] | None = None,
+) -> DisseminationGraph:
+    """Re-run LeLA with observed load folded into the level ranking.
+
+    The paper re-applies the algorithm whenever requirements change
+    (Section 4); online adaptation re-applies it when *observed traffic*
+    drifts instead.  The re-optimization is realized as a deterministic
+    load-aware rebuild over the same insertion order and random stream:
+    with an empty ``node_load`` it reproduces the original graph
+    bit-exactly, and incrementality comes from applying only the
+    edge-level :class:`~repro.core.dynamics.ReconfigurationDiff` between
+    the old and new graphs to the running system.
+    """
+    return build_d3g(
+        profiles=profiles,
+        source=source,
+        comm_delay_ms=comm_delay_ms,
+        offered_degree=offered_degree,
+        preference=preference,
+        p_percent=p_percent,
+        rng=rng,
+        node_load=node_load,
+    )

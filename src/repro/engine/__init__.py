@@ -8,6 +8,12 @@ discrete-event kernel.  The single entry point most callers need is
 :func:`~repro.engine.simulation.run_simulation`.
 """
 
+from repro.engine.adaptive import (
+    AdaptiveController,
+    AdaptivePolicy,
+    DriftEstimator,
+    parse_adaptive_spec,
+)
 from repro.engine.churn import (
     ChurnEvent,
     ChurnSchedule,
@@ -15,7 +21,12 @@ from repro.engine.churn import (
     synthetic_schedule,
 )
 from repro.engine.config import KERNELS, SCALE_PRESETS, SimulationConfig
-from repro.engine.builder import SimulationSetup, build_setup, make_membership
+from repro.engine.builder import (
+    SimulationSetup,
+    build_setup,
+    make_adaptive_controller,
+    make_membership,
+)
 from repro.engine.failures import (
     FailureEvent,
     FailureSchedule,
@@ -53,4 +64,9 @@ __all__ = [
     "FailureSchedule",
     "failures_for_config",
     "synthetic_failures",
+    "AdaptiveController",
+    "AdaptivePolicy",
+    "DriftEstimator",
+    "make_adaptive_controller",
+    "parse_adaptive_spec",
 ]

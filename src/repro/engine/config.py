@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.core.dissemination.filtering import FILTERED_POLICIES, validate_tolerance
+from repro.engine.adaptive import AdaptivePolicy
 from repro.engine.churn import ChurnSchedule
 from repro.engine.failures import FailureSchedule
 from repro.errors import ConfigurationError
@@ -111,6 +112,16 @@ class SimulationConfig:
             update-set.  Mutually exclusive with ``churn`` (planned and
             unplanned membership change use different graph-evolution
             machinery).
+        adaptive: Optional online re-optimization policy (see
+            :mod:`repro.engine.adaptive`).  ``None`` reproduces the
+            paper's static ``d3g``.  When set, both kernels run a
+            drift-triggered controller that re-applies LeLA with
+            observed load folded into the level ranking and rewires
+            only the changed service edges live, charging every rewire
+            into reconfiguration cost.  Composable with workloads and
+            loss; mutually exclusive with ``churn`` and ``failures``
+            (all three reconfigure the same graph), and restricted to
+            the four push policies both kernels share.
     """
 
     seed: int = 20020812
@@ -137,6 +148,7 @@ class SimulationConfig:
     clients_per_repository: int = 0
     churn: ChurnSchedule | None = None
     failures: FailureSchedule | None = None
+    adaptive: AdaptivePolicy | None = None
 
     def __post_init__(self) -> None:
         if self.n_repositories < 1:
@@ -225,6 +237,29 @@ class SimulationConfig:
                     "unplanned failure reroutes within it"
                 )
             self.failures.validate_nodes(self.n_repositories)
+        if self.adaptive is not None:
+            if not isinstance(self.adaptive, AdaptivePolicy):
+                raise ConfigurationError(
+                    "adaptive must be an AdaptivePolicy or None, got "
+                    f"{type(self.adaptive).__name__}"
+                )
+            if self.churn is not None:
+                raise ConfigurationError(
+                    "adaptive re-optimization cannot be combined with a churn "
+                    "schedule in one run: both rebuild the dissemination graph "
+                    "and their rebuild rules do not compose (yet)"
+                )
+            if self.failures is not None:
+                raise ConfigurationError(
+                    "adaptive re-optimization cannot be combined with a "
+                    "failure schedule in one run: failover and drift-triggered "
+                    "rewiring would contend for the same edges"
+                )
+            if self.policy not in FILTERED_POLICIES:
+                raise ConfigurationError(
+                    f"adaptive re-optimization supports policies "
+                    f"{list(FILTERED_POLICIES)}, got {self.policy!r}"
+                )
 
     def with_(self, **overrides) -> "SimulationConfig":
         """Return a copy with the given fields replaced."""

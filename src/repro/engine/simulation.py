@@ -53,7 +53,12 @@ from repro.core.dynamics import ReconfigurationDiff
 from repro.core.fidelity import FidelityAccumulator, segmented_loss
 from repro.core.interests import InterestProfile
 from repro.core.metrics import CostCounters
-from repro.engine.builder import SimulationSetup, build_setup, make_membership
+from repro.engine.builder import (
+    SimulationSetup,
+    build_setup,
+    make_adaptive_controller,
+    make_membership,
+)
 from repro.engine.churn import ChurnEvent
 from repro.engine.failures import FailureEvent
 from repro.engine.config import SimulationConfig
@@ -100,6 +105,14 @@ class DisseminationSimulation:
         self._failures = setup.config.failures
         self._crashed: set[int] = set()
         self._down_links: set[tuple[int, int]] = set()
+        # Adaptive re-optimization state (mutually exclusive with both
+        # churn and failures): the per-run drift controller owns the
+        # live graph once a rewire is applied.  Built before _prepare()
+        # because _graph already resolves through it.
+        self._adaptive = setup.config.adaptive
+        self._adaptive_controller = (
+            make_adaptive_controller(setup) if self._adaptive is not None else None
+        )
         self._source_value: dict[int, float] = {}
         self._stations: dict[int, FifoStation] = {}
         # Per (node, item): list of (child, c_serve); precomputed for speed.
@@ -127,8 +140,13 @@ class DisseminationSimulation:
 
     @property
     def _graph(self):
-        """The live dissemination graph (rebound by churn rebuilds)."""
-        return self._membership.graph if self._membership is not None else self.setup.graph
+        """The live dissemination graph (rebound by churn rebuilds and
+        adaptive re-optimizations)."""
+        if self._membership is not None:
+            return self._membership.graph
+        if self._adaptive_controller is not None:
+            return self._adaptive_controller.graph
+        return self.setup.graph
 
     def _graphs(self):
         """(graph, root, item ids) triples to wire up.
@@ -367,6 +385,30 @@ class DisseminationSimulation:
             self.policy.register_edge(parent, child, item_id, c_serve, initial)
 
     # ------------------------------------------------------------------
+    # Adaptive re-optimization execution
+    # ------------------------------------------------------------------
+
+    def _message_counts(self) -> dict[int, int]:
+        """Cumulative per-node sent-message counts right now.
+
+        The drift signal the adaptive controller consumes; the
+        vectorized kernel overrides this to sparsify its dense array
+        into the identical dict.
+        """
+        return dict(self.counters.per_node_messages)
+
+    def _on_adaptive_tick(self, now: float) -> None:
+        """One drift evaluation; apply the rewire diff if one fires.
+
+        Shared by the vectorized kernel (called from its drain loop at
+        the tick's timestamp), so both engines make identical rewiring
+        decisions from identical counter snapshots.
+        """
+        diff = self._adaptive_controller.on_tick(now, self._message_counts())
+        if diff is not None:
+            self._apply_diff(diff, now)
+
+    # ------------------------------------------------------------------
     # Unplanned-failure execution
     # ------------------------------------------------------------------
 
@@ -519,6 +561,12 @@ class DisseminationSimulation:
             for event in self._failures.events:
                 self.kernel.schedule_at(float(event.time), self._on_failure, event)
         schedule = self._update_schedule()
+        if self._adaptive_controller is not None:
+            # Same tie-break contract as churn and failures: a drift
+            # tick and a delivery at the same instant evaluate the tick
+            # first, so both kernels see identical counter snapshots.
+            for t in self._adaptive_controller.tick_times(schedule.span):
+                self.kernel.schedule_at(t, self._on_adaptive_tick, t)
         # tolist() yields plain Python floats/ints; scheduling the merged
         # time-sorted timeline enqueues the same (time, relative-order)
         # set the per-trace loop always produced, so heap pop order --
@@ -578,6 +626,10 @@ class DisseminationSimulation:
             extras["failure_events"] = len(self._failures)
             extras["crashes"] = self._failures.count("crash")
             extras["partitions"] = self._failures.count("link_down")
+        if self._adaptive_controller is not None:
+            extras["adaptive_ticks"] = self._adaptive_controller.ticks
+            extras["adaptive_triggered"] = self._adaptive_controller.triggered
+            extras["adaptive_rewires"] = self._adaptive_controller.rewires
         return SimulationResult(
             loss_of_fidelity=accumulator.system_loss(),
             per_repository_loss=accumulator.per_repository(),

@@ -46,6 +46,15 @@ scalar ``_apply_diff`` wires them (for the centralised policy, the
 :class:`~repro.core.dissemination.filtering.ArraySourceTagger` replays
 the scalar tagger's remove/re-add transitions edge for edge).
 
+Adaptive re-optimization (:mod:`repro.engine.adaptive`) is supported
+the same way: drift ticks are applied inline before each unit at the
+exact instants the scalar kernel schedules them, the controller reads
+this engine's dense per-node message tallies sparsified into the
+identical dict the scalar counters hold, and applied rewires patch the
+edge-group arrays through the same ``_apply_diff`` override --
+including groups that exist only in the re-optimized graph, which are
+materialised on first use.
+
 Not supported here -- the factory
 (:func:`~repro.engine.simulation.make_simulation`) falls back to the
 scalar engine for: churn schedules (mid-run membership rebuilds mutate
@@ -198,11 +207,12 @@ class VectorizedSimulation(DisseminationSimulation):
                     self.policy.unique_tolerances(item_id),
                     trace.initial_value,
                 )
-            if self._failures is not None:
+            if self._failures is not None or self._adaptive is not None:
                 # (item, quantised tolerance) -> number of edges serving
-                # at it; lets failover diffs replay the scalar policy's
-                # refcounted SourceTagger remove/re-add transitions on
-                # the array tagger without peeking at policy internals.
+                # at it; lets reconfiguration diffs (failover or adaptive
+                # rewires) replay the scalar policy's refcounted
+                # SourceTagger remove/re-add transitions on the array
+                # tagger without peeking at policy internals.
                 self._tol_count: dict[tuple[int, float], int] = {}
                 for (_node, item_id), children in self._children.items():
                     for _child, c in children:
@@ -296,9 +306,15 @@ class VectorizedSimulation(DisseminationSimulation):
         centralized = self._policy_kind == _CENTRALIZED
         root_gid = self._root_gid
         counters = self._acounters
-        track = self._failures is not None
-        fail_events = list(self._failures.events) if track else []
+        track = self._failures is not None or self._adaptive is not None
+        fail_events = list(self._failures.events) if self._failures is not None else []
         fi, nf = 0, len(fail_events)
+        tick_times = (
+            self._adaptive_controller.tick_times(schedule.span)
+            if self._adaptive_controller is not None
+            else []
+        )
+        ti, nt = 0, len(tick_times)
         for unit in kernel.drain():
             if fi < nf:
                 # Same tie-break as the scalar event queue (failures are
@@ -309,6 +325,14 @@ class VectorizedSimulation(DisseminationSimulation):
                     event = fail_events[fi]
                     self._apply_failure(event, float(event.time))
                     fi += 1
+            if ti < nt:
+                # Drift ticks share the failure tie-break: a tick at t
+                # evaluates before the update or delivery at t, so both
+                # kernels snapshot identical counter states.
+                t_unit = source_times[unit] if type(unit) is int else unit[0]
+                while ti < nt and tick_times[ti] <= t_unit:
+                    self._on_adaptive_tick(tick_times[ti])
+                    ti += 1
             if type(unit) is int:
                 # A fresh source update (static schedule index).
                 item_id = source_items[unit]
@@ -361,11 +385,16 @@ class VectorizedSimulation(DisseminationSimulation):
             event = fail_events[fi]
             self._apply_failure(event, float(event.time))
             fi += 1
+        while ti < nt:
+            # Ticks past the last unit still evaluate (and count); the
+            # scalar kernel runs them too.
+            self._on_adaptive_tick(tick_times[ti])
+            ti += 1
         folded = counters.to_cost_counters()
         if track:
-            # _apply_failure charged reconfiguration and resync cost
-            # into the scalar-side CostCounters; carry it over before
-            # the array totals replace them.
+            # _apply_failure / _on_adaptive_tick charged reconfiguration
+            # and resync cost into the scalar-side CostCounters; carry
+            # it over before the array totals replace them.
             pre = self.counters
             folded.reconfigurations = pre.reconfigurations
             folded.edges_added = pre.edges_added
@@ -376,12 +405,53 @@ class VectorizedSimulation(DisseminationSimulation):
         self.counters = folded
         return self._score(schedule.span)
 
+    def _message_counts(self) -> dict[int, int]:
+        """Sparsify the dense per-node message tallies into the exact
+        dict the scalar ``CostCounters.per_node_messages`` holds at the
+        same event boundary (all-positive entries; order is irrelevant
+        to the drift estimator)."""
+        node_messages = self._acounters.node_messages
+        return {
+            int(node): int(node_messages[node])
+            for node in np.nonzero(node_messages)[0]
+        }
+
     # ------------------------------------------------------------------
-    # Failover / restore rewiring (unplanned failures)
+    # Live rewiring (unplanned failover and adaptive re-optimization)
     # ------------------------------------------------------------------
 
+    def _ensure_group(self, node: int, item_id: int) -> int:
+        """The edge group for ``(node, item_id)``, created if absent.
+
+        Adaptive rebuilds can wire pairs that never sent or received in
+        the original graph (a relay acquiring a new item through
+        augmentation); such groups start empty and inherit the scalar
+        base's authoritative per-pair state (delivery log, receive
+        coherency, client plane) by reference.
+        """
+        key = (node, item_id)
+        gid = self._gid_of.get(key)
+        if gid is not None:
+            return gid
+        gid = len(self._gid_of)
+        self._gid_of[key] = gid
+        issrc = node == self._root_of[item_id]
+        self._g_node.append(node)
+        self._g_issrc.append(issrc)
+        self._g_prc.append(0.0 if issrc else self._receive_c.get(key, 0.0))
+        self._g_child_gid.append(np.empty(0, dtype=np.int64))
+        self._g_cs.append(np.empty(0))
+        self._g_last.append(np.empty(0))
+        self._g_delay.append(np.empty(0))
+        self._g_log.append(self._deliveries.get(key))
+        self._g_ctol.append(self._client_tols.get(key))
+        self._g_clast.append(self._client_last.get(key))
+        if issrc:
+            self._root_gid[item_id] = gid
+        return gid
+
     def _apply_diff(self, diff, now: float, resync: frozenset = frozenset()) -> None:
-        """Mirror a failover/restore rewiring into the edge-group arrays.
+        """Mirror a live rewiring into the edge-group arrays.
 
         The scalar base keeps the children maps, receive coherencies,
         delivery logs and the registered scalar policy current; this
@@ -408,6 +478,15 @@ class VectorizedSimulation(DisseminationSimulation):
             self._g_cs[gid] = np.delete(self._g_cs[gid], i)
             self._g_last[gid] = np.delete(self._g_last[gid], i)
             self._g_delay[gid] = np.delete(self._g_delay[gid], i)
+            if (child, item_id) not in self._receive_c:
+                # The rebuild dropped the pair entirely (the scalar base
+                # popped its receive coherency): in-flight deliveries
+                # still append to the kept log, but nobody is served
+                # from the pair any more -- mirror the scalar
+                # _serve_clients early-return by unhooking the client
+                # plane until a later rewire restores the subscription.
+                self._g_ctol[child_gid] = None
+                self._g_clast[child_gid] = None
             if centralized:
                 tau = quantise_tolerance(c)
                 key = (item_id, tau)
@@ -426,27 +505,29 @@ class VectorizedSimulation(DisseminationSimulation):
             diff.added, key=lambda e: (e[2], graph.item_depth(e[1], e[2]), e)
         )
         for parent, child, item_id, c in added:
-            gid = gid_of.get((parent, item_id))
-            if gid is None:
-                # Failover targets a live *ancestor*, which by definition
-                # already serves the item, so its group must exist.
-                raise SimulationError(
-                    f"no edge group for failover parent {parent}, item {item_id}"
-                )
+            gid = self._ensure_group(parent, item_id)
+            child_gid = self._ensure_group(child, item_id)
             # After the base class ran, the child's log tail IS the
             # initial the scalar policy was primed with (re-homed
-            # children keep their copy; resynced ones just had the
-            # parent's current value appended).
+            # children keep their copy; new subscriptions and resynced
+            # ones just had the parent's current value appended).
             initial = self._deliveries[(child, item_id)][-1][1]
             tol = quantise_tolerance(c) if centralized else c
             self._g_child_gid[gid] = np.append(
-                self._g_child_gid[gid], np.int64(gid_of[(child, item_id)])
+                self._g_child_gid[gid], np.int64(child_gid)
             )
             self._g_cs[gid] = np.append(self._g_cs[gid], tol)
             self._g_last[gid] = np.append(self._g_last[gid], initial)
             self._g_delay[gid] = np.append(
                 self._g_delay[gid], network.delay_s(parent, child)
             )
+            # The base class (re)set the pair's receive coherency and may
+            # have created its delivery log: refresh the group's scalars
+            # so in-flight and future deliveries see current state.
+            self._g_prc[child_gid] = self._receive_c[(child, item_id)]
+            self._g_log[child_gid] = self._deliveries.get((child, item_id))
+            self._g_ctol[child_gid] = self._client_tols.get((child, item_id))
+            self._g_clast[child_gid] = self._client_last.get((child, item_id))
             if centralized:
                 tkey = (item_id, tol)
                 count = self._tol_count.get(tkey, 0)
@@ -457,8 +538,11 @@ class VectorizedSimulation(DisseminationSimulation):
     def _events_processed(self) -> int:
         if self._batch_kernel is None:
             return 0
-        # The scalar kernel schedules each failure event as one discrete
-        # event; the batch drain applies them inline, so they are added
-        # back here to keep the result field bit-identical.
+        # The scalar kernel schedules each failure event and each drift
+        # tick as one discrete event; the batch drain applies them
+        # inline, so they are added back here to keep the result field
+        # bit-identical.
         extra = len(self._failures.events) if self._failures is not None else 0
+        if self._adaptive_controller is not None:
+            extra += self._adaptive_controller.ticks
         return self._batch_kernel.events_processed + extra

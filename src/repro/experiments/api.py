@@ -298,6 +298,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.churn_resilience",
     "repro.experiments.failure_resilience",
     "repro.experiments.workload_sensitivity",
+    "repro.experiments.adaptive_tradeoff",
     "repro.experiments.live_crosscheck",
 )
 

@@ -35,6 +35,20 @@ asserts exact wire conservation (``sent == delivered + dropped``) and
 fidelity agreement within ``fidelity_tol``; it degrades gracefully
 (recorded as skipped) where localhost sockets are unavailable, unless
 ``tcp=on`` forces it.
+
+Adaptive leg
+------------
+
+A third leg repeats the comparison with an
+:class:`~repro.engine.adaptive.AdaptivePolicy` active on a fixed
+drifting grid (``ADAPTIVE_BASE``, flash-crowd traffic): the engine's
+drift-triggered re-optimization must fire on both planes and still
+leave them *bit-identical* -- unlike the plain legs' tolerance checks,
+this one asserts ``delta == 0``, full :class:`CostCounters` equality
+(reconfiguration charges included) and equal, non-zero rewire counts.
+The in-process transport shares the simulator's kernel and counters, so
+any disagreement means the live rewiring path diverged from the
+engine's ``_apply_diff``.
 """
 
 from __future__ import annotations
@@ -42,8 +56,9 @@ from __future__ import annotations
 from repro.engine.config import SimulationConfig
 from repro.errors import SimulationError
 from repro.experiments import api
+from repro.workloads import FlashCrowdWorkload
 
-__all__ = ["SPEC", "POLICIES", "FAILURE_BASE", "run", "main"]
+__all__ = ["SPEC", "POLICIES", "FAILURE_BASE", "ADAPTIVE_BASE", "run", "main"]
 
 #: The two exact policies are the cross-check's subjects; flooding and
 #: eq3_only are diagnostic baselines, available via the ``policies``
@@ -59,6 +74,19 @@ FAILURE_BASE = SimulationConfig(
     n_routers=15,
     n_items=2,
     trace_samples=80,
+)
+
+#: Fixed operating point of the adaptive leg: flash-crowd drift on a
+#: small grid, sized so the default policy applies several rewires per
+#: run under both exact dissemination policies (verified: 4 rewires
+#: each) while the whole leg stays sub-second.
+ADAPTIVE_BASE = SimulationConfig(
+    n_repositories=12,
+    n_routers=36,
+    n_items=3,
+    trace_samples=300,
+    seed=3913,
+    workload=FlashCrowdWorkload(),
 )
 
 
@@ -96,11 +124,25 @@ def _failure_config(ctx: api.ExperimentContext, policy: str) -> SimulationConfig
     ))
 
 
+def _adaptive_config(ctx: api.ExperimentContext, policy: str) -> SimulationConfig:
+    from repro.engine.adaptive import AdaptivePolicy
+
+    return ADAPTIVE_BASE.with_(
+        policy=policy,
+        adaptive=AdaptivePolicy(
+            window=ctx.params["adaptive_window"],
+            threshold=ctx.params["adaptive_threshold"],
+            max_rewires=ctx.params["adaptive_max_rewires"],
+        ),
+    )
+
+
 def _plan(ctx: api.ExperimentContext):
     base = ctx.base_config()
     plain = tuple(base.with_(policy=policy) for policy in _policies(ctx))
     failure = tuple(_failure_config(ctx, policy) for policy in _policies(ctx))
-    return plain + failure
+    adaptive = tuple(_adaptive_config(ctx, policy) for policy in _policies(ctx))
+    return plain + failure + adaptive
 
 
 def _check_pair(tag: str, sim, live, fidelity_tol: float, message_tol: float) -> dict:
@@ -156,9 +198,11 @@ def _collect(ctx: api.ExperimentContext, results) -> dict:
         "message_tol_pct": message_tol,
         "policies": {},
         "failure_policies": {},
+        "adaptive_policies": {},
     }
     plain_sims = results[: len(policies)]
-    failure_sims = results[len(policies):]
+    failure_sims = results[len(policies) : 2 * len(policies)]
+    adaptive_sims = results[2 * len(policies):]
     for policy, sim in zip(policies, plain_sims):
         config = base.with_(policy=policy)
         # The live half is deliberately NEVER cached: the experiment
@@ -189,6 +233,40 @@ def _collect(ctx: api.ExperimentContext, results) -> dict:
         row["sim_drops"] = sim.counters.drops
         row["live_drops"] = live.counters.drops
         payload["failure_policies"][policy] = row
+
+    # --- adaptive leg: drift-triggered rewiring must leave the planes
+    # bit-identical.  Zero tolerances on purpose: the in-process
+    # transport shares the simulator's kernel, counters and controller
+    # decisions, so *any* gap means the live rewiring path diverged.
+    payload["adaptive"] = {
+        "window": ctx.params["adaptive_window"],
+        "threshold": ctx.params["adaptive_threshold"],
+        "max_rewires": ctx.params["adaptive_max_rewires"],
+    }
+    for policy, sim in zip(policies, adaptive_sims):
+        config = _adaptive_config(ctx, policy)
+        live = run_live(config, "inprocess")
+        row = _check_pair(
+            f"adaptive/{policy}", sim, live, fidelity_tol=0.0, message_tol=0.0
+        )
+        if sim.counters != live.counters:
+            raise SimulationError(
+                f"live_crosscheck[adaptive/{policy}]: cost counters "
+                f"diverged under adaptation: sim={sim.counters} "
+                f"live={live.counters}"
+            )
+        sim_rewires = sim.extras.get("adaptive_rewires", 0)
+        live_rewires = live.extras.get("adaptive_rewires", 0)
+        if sim_rewires != live_rewires or sim_rewires < 1:
+            raise SimulationError(
+                f"live_crosscheck[adaptive/{policy}]: expected matching, "
+                f"non-zero rewire counts, got sim={sim_rewires} "
+                f"live={live_rewires}"
+            )
+        row["rewires"] = sim_rewires
+        row["ticks"] = sim.extras.get("adaptive_ticks", 0)
+        row["resubscriptions"] = sim.counters.resubscriptions
+        payload["adaptive_policies"][policy] = row
 
     # --- TCP failure leg: one policy over real sockets.  Unlike the
     # in-process transport (which shares the simulator's virtual-time
@@ -279,6 +357,21 @@ def _render(payload: dict) -> str:
             )
         else:
             lines.append(f"tcp: skipped -- {tcp.get('reason', 'unknown')}")
+    adaptive = payload.get("adaptive")
+    if adaptive:
+        lines.append("")
+        lines.append(
+            f"adaptive leg (bit-exact): window={adaptive['window']:g}, "
+            f"threshold={adaptive['threshold']:g}, "
+            f"max_rewires={adaptive['max_rewires']}"
+        )
+        for policy, row in payload.get("adaptive_policies", {}).items():
+            lines.append(
+                f"{policy:<14} {row['sim_loss']:>10.4f} "
+                f"{row['live_loss']:>10.4f} {row['delta_loss_pp']:>8.4f} "
+                f"{row['sim_messages']:>9d} {row['live_messages']:>9d} "
+                f"rewires={row['rewires']} resubs={row['resubscriptions']}"
+            )
     lines.append("")
     lines.append("agreement: within tolerance on every policy")
     return "\n".join(lines)
@@ -314,6 +407,13 @@ SPEC = api.register(api.ExperimentSpec(
                       "sim-seconds per wall-second for the TCP leg; the "
                       "fidelity gap scales with it, the wall time "
                       "inversely"),
+        api.ParamSpec("adaptive_window", "float", 30.0,
+                      "drift window (simulated seconds) of the adaptive "
+                      "leg's policy"),
+        api.ParamSpec("adaptive_threshold", "float", 0.75,
+                      "drift threshold of the adaptive leg's policy"),
+        api.ParamSpec("adaptive_max_rewires", "int", 4,
+                      "rewire cap of the adaptive leg's policy"),
     ),
     plan=_plan,
     collect=_collect,

@@ -28,15 +28,20 @@ from repro.core.dissemination.filtering import (
 from repro.core.fidelity import FidelityAccumulator, loss_of_fidelity, segmented_loss
 from repro.core.metrics import CostCounters
 from repro.core.tree import TreeStats
-from repro.engine.builder import SimulationSetup, build_setup
+from repro.engine.builder import SimulationSetup, build_setup, make_adaptive_controller
 from repro.engine.config import SimulationConfig
 from repro.engine.failures import FailureEvent, FailureSchedule
 from repro.errors import ConfigurationError
 from repro.live.nodes import ClientNode, RepositoryNode, SourceNode
-from repro.live.transport import TransportStats, make_transport
+from repro.live.transport import (
+    InProcessTransport,
+    TransportStats,
+    make_transport,
+)
 
 __all__ = [
     "LiveNetwork",
+    "LiveAdaptiveController",
     "LiveFailureController",
     "LiveRunResult",
     "build_live_network",
@@ -133,6 +138,9 @@ class LiveNetwork:
         #: Set by :func:`build_live_network` when the config carries a
         #: failure schedule; transports consult it for fault hooks.
         self.failures: LiveFailureController | None = None
+        #: Set by :func:`build_live_network` when the config carries an
+        #: adaptive policy; the in-process transport schedules its ticks.
+        self.adaptive: LiveAdaptiveController | None = None
 
     def node(self, node_id: int):
         """The message handler for one destination node id."""
@@ -432,6 +440,159 @@ class LiveFailureController:
             self.network.counters.record_resync(checks, messages)
 
 
+class LiveAdaptiveController:
+    """Runs the engine's drift-triggered re-optimization on a live network.
+
+    The decision-making is the engine's own
+    :class:`~repro.engine.adaptive.AdaptiveController`, fed the live
+    :class:`~repro.core.metrics.CostCounters` per-node message tallies at
+    the same virtual-time tick instants both simulation kernels use --
+    the live network counts messages with the same counters the engine
+    charges, so the drift estimator sees identical numbers and makes
+    identical rewiring decisions.  This wrapper only *executes* the
+    resulting edge diffs against the sans-io nodes, in the engine's
+    exact orders (removals in sorted-tuple order, additions
+    root-downward per item tree of the *re-optimized* graph) with the
+    engine's exact state semantics: a re-homed child keeps its own
+    copy, a brand-new subscription initial-syncs the parent's current
+    value (charged as reconfiguration cost, not as an update message),
+    and a child the rebuild dropped entirely stops receiving but keeps
+    its delivery log for fidelity scoring.
+
+    Adaptive runs are in-process only: the virtual-time transport
+    schedules :meth:`apply_tick` on its kernel before the source replay
+    (ticks win same-instant ties, the engine's ordering), which makes a
+    live adaptive run bit-identical to the simulation.  The wall-clock
+    TCP transport cannot pin counter snapshots to exact virtual
+    instants, so :func:`run_live` rejects the combination.
+    """
+
+    def __init__(self, network: LiveNetwork) -> None:
+        self.network = network
+        #: The engine controller that owns the drift estimator, the
+        #: policy gates and the current (rebound-on-rewire) graph.
+        self.controller = make_adaptive_controller(network.setup)
+        setup = network.setup
+        self._policy = setup.config.policy
+        if self._policy == "centralized":
+            # Same refcounted SourceTagger replay the failure controller
+            # keeps: (item, quantised tolerance) -> number of serving
+            # edges, so tagger add/remove transitions match the engine's
+            # register/unregister sequence during rewiring.
+            self._tol_count: dict[tuple[int, float], int] = {}
+            graph = setup.graph
+            for item_id in setup.traces:
+                for node in graph.nodes:
+                    for _child, c in graph.children_for_item(node, item_id):
+                        key = (item_id, quantise_tolerance(c))
+                        self._tol_count[key] = self._tol_count.get(key, 0) + 1
+
+    def tick_times(self, duration: float | None = None) -> list[float]:
+        """The run's drift-evaluation instants (``window, 2*window...``).
+
+        Delegates to the engine controller over the same scoring span
+        the engines use (the longest trace's), truncated to ``duration``
+        when the replay is.
+        """
+        setup = self.network.setup
+        if setup.update_schedule is not None:
+            span = setup.update_schedule.span
+        else:
+            span = max(
+                (trace.span for trace in setup.traces.values()), default=0.0
+            )
+        if duration is not None:
+            span = min(span, duration)
+        return self.controller.tick_times(span)
+
+    def apply_tick(self, now: float) -> None:
+        """One drift evaluation against the live counters; rewire if told."""
+        diff = self.controller.on_tick(
+            now, dict(self.network.counters.per_node_messages)
+        )
+        if diff is not None:
+            self._apply_diff(diff, now)
+
+    # -- internals (mirror the engine's _apply_diff, edge for edge) --
+
+    def _sender(self, node: int):
+        if node == self.network.source_node.node:
+            return self.network.source_node
+        return self.network.repositories[node]
+
+    def _current_value(self, node: int, item_id: int) -> float:
+        if node == self.network.source_node.node:
+            return self.network.source_node.values.get(
+                item_id, self.network.setup.traces[item_id].initial_value
+            )
+        return self.network.repositories[node].deliveries[item_id][-1][1]
+
+    def _apply_diff(self, diff, now: float) -> None:
+        network = self.network
+        setup = network.setup
+        network.counters.record_reconfiguration(
+            n_added=len(diff.added), n_removed=len(diff.removed)
+        )
+        # on_tick rebinds the controller graph before returning the
+        # diff, so this is the *re-optimized* graph -- the same one the
+        # engine's _apply_diff reads for drop checks and add ordering.
+        graph = self.controller.graph
+        tagger = network.source_node.tagger
+        for parent, child, item_id, c in sorted(diff.removed):
+            sender = self._sender(parent)
+            edges = sender.edges.get(item_id)
+            if edges is not None:
+                edges[:] = [
+                    e for e in edges if e.is_client or e.child != child
+                ]
+                if not edges:
+                    del sender.edges[item_id]
+            if tagger is not None:
+                tau = quantise_tolerance(c)
+                key = (item_id, tau)
+                count = self._tol_count[key] - 1
+                if count:
+                    self._tol_count[key] = count
+                else:
+                    del self._tol_count[key]
+                    tagger.remove_tolerance(item_id, tau)
+            state = graph.nodes.get(child)
+            if state is None or item_id not in state.receive_c:
+                # The rebuild dropped the pair entirely: the child stops
+                # receiving the item (its log is kept for scoring).
+                network.repositories[child].receive_c.pop(item_id, None)
+        ordered = sorted(
+            diff.added, key=lambda e: (e[2], graph.item_depth(e[1], e[2]), e)
+        )
+        for parent, child, item_id, c in ordered:
+            sender = self._sender(parent)
+            repo = network.repositories[child]
+            value = self._current_value(parent, item_id)
+            log = repo.deliveries.get(item_id)
+            if log is None:
+                # New subscription: initial-sync the parent's current
+                # copy (reconfiguration cost, not an update message).
+                repo.deliveries[item_id] = [(now, value)]
+                initial = value
+            else:
+                # Re-homed subscription: the child keeps its own copy.
+                initial = log[-1][1]
+            repo.receive_c[item_id] = c
+            if tagger is not None:
+                tau = quantise_tolerance(c)
+                count = self._tol_count.get((item_id, tau), 0)
+                self._tol_count[(item_id, tau)] = count + 1
+                if count == 0:
+                    tagger.add_tolerance(item_id, tau, initial)
+            sender.add_edge(
+                item_id,
+                child,
+                c,
+                EdgeFilter(self._policy, c, initial),
+                setup.network.delay_s(parent, child),
+            )
+
+
 def _client_node_base(setup: SimulationSetup) -> int:
     """First transport node id free for clients (above the topology)."""
     return int(setup.network.routing.dist_ms.shape[0])
@@ -475,6 +636,15 @@ def build_live_network(
         raise ConfigurationError(
             "the live network runs static membership; strip the churn "
             "schedule from the config before running live"
+        )
+    if config.adaptive is not None and clients is not None and len(clients):
+        # A rewire that drops a (repository, item) pair stops the
+        # engine's client service for it, but a live client edge is
+        # attached state; until client re-attachment is wired through
+        # the rewiring path the combination would silently diverge.
+        raise ConfigurationError(
+            "adaptive re-optimization does not support an attached live "
+            "client population yet; drop the clients or the adaptive policy"
         )
     if setup is None:
         setup = build_setup(config)
@@ -564,6 +734,8 @@ def build_live_network(
     network = LiveNetwork(setup, counters, source_node, repositories, client_nodes)
     if config.failures is not None:
         network.failures = LiveFailureController(network, config.failures)
+    if config.adaptive is not None:
+        network.adaptive = LiveAdaptiveController(network)
     return network
 
 
@@ -699,6 +871,11 @@ def run_live(
     """
     if duration is not None and duration <= 0:
         raise ConfigurationError(f"duration must be positive, got {duration!r}")
+    if config.adaptive is not None and transport != InProcessTransport.name:
+        raise ConfigurationError(
+            "adaptive re-optimization needs virtual-time counter "
+            "snapshots; run it on the inprocess transport"
+        )
     if network is None:
         network = build_live_network(config, clients=clients)
     driver = make_transport(
@@ -739,11 +916,19 @@ def run_live(
         reconnects = getattr(stats, "reconnects", 0)
         if reconnects:
             extras["reconnects"] = reconnects
+    # Adaptive runs report the graph they *ended* on, like the engine.
+    final_graph = network.setup.graph
+    if network.adaptive is not None:
+        inner = network.adaptive.controller
+        extras["adaptive_ticks"] = inner.ticks
+        extras["adaptive_triggered"] = inner.triggered
+        extras["adaptive_rewires"] = inner.rewires
+        final_graph = inner.graph
     return LiveRunResult(
         loss_of_fidelity=accumulator.system_loss(),
         per_repository_loss=accumulator.per_repository(),
         counters=network.counters,
-        tree_stats=network.setup.graph.stats(),
+        tree_stats=final_graph.stats(),
         effective_degree=network.setup.effective_degree,
         avg_comm_delay_ms=network.setup.avg_comm_delay_ms,
         sim_span_s=span,

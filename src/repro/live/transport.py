@@ -177,6 +177,12 @@ class InProcessTransport:
                     event,
                     float(event.time),
                 )
+        if network.adaptive is not None:
+            # Like failures: ticks enqueue before the replay, so a drift
+            # evaluation and an update at the same instant run the tick
+            # first -- the engines' tie-break, on the same kernel.
+            for t in network.adaptive.tick_times(duration):
+                kernel.schedule_at(t, network.adaptive.apply_tick, t)
         for t, item_id, value in network.source_schedule(duration):
             kernel.schedule_at(t, source_update, item_id, value)
         kernel.run()

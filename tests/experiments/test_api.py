@@ -30,6 +30,7 @@ def test_registry_knows_every_experiment_in_paper_order():
         "churn_resilience",
         "failure_resilience",
         "workload_sensitivity",
+        "adaptive_tradeoff",
         "live_crosscheck",
     ]
 

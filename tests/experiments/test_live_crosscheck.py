@@ -46,20 +46,23 @@ def test_registered_with_policy_parameters():
         "policies", "fidelity_tol", "message_tol",
         "failure_crashes", "failure_partitions", "failure_loss",
         "failure_seed", "tcp", "tcp_time_scale",
+        "adaptive_window", "adaptive_threshold", "adaptive_max_rewires",
     ]
 
 
-def test_plan_is_one_plain_and_one_failure_config_per_policy():
+def test_plan_is_plain_failure_and_adaptive_configs_per_policy():
     spec, ctx = _ctx()
     plan = spec.plan(ctx)
     assert [c.policy for c in plan] == [
-        "distributed", "centralized", "distributed", "centralized"
-    ]
-    plain, failure = plan[:2], plan[2:]
+        "distributed", "centralized"
+    ] * 3
+    plain, failure, adaptive = plan[:2], plan[2:4], plan[4:]
     assert all(c.n_repositories == TINY["n_repositories"] for c in plain)
     assert all(c.failures is None for c in plain)
     assert all(c.failures is not None for c in failure)
     assert all(c.message_loss_probability > 0.0 for c in failure)
+    assert all(c.adaptive is not None for c in adaptive)
+    assert all(c.failures is None for c in adaptive)
 
 
 def test_crosscheck_agrees_and_reports(tmp_path):
@@ -86,6 +89,13 @@ def test_crosscheck_agrees_and_reports(tmp_path):
     failure_row = payload["failure_policies"]["distributed"]
     assert failure_row["live_dropped"] > 0
     assert failure_row["sim_drops"] == failure_row["live_drops"]
+    for policy in ("distributed", "centralized"):
+        adaptive_row = payload["adaptive_policies"][policy]
+        # The adaptive leg is pinned bit-exact: zero deltas, real rewires.
+        assert adaptive_row["delta_loss_pp"] == 0.0
+        assert adaptive_row["sim_messages"] == adaptive_row["live_messages"]
+        assert adaptive_row["rewires"] > 0
+        assert adaptive_row["resubscriptions"] > 0
     assert payload["tcp"] == {"ran": False, "reason": "disabled (tcp=off)"}
     # The payload is artifact-serialisable.
     path = api.write_artifact(tmp_path, "live_crosscheck", "tiny", {}, payload)
@@ -120,6 +130,7 @@ def test_crosscheck_single_policy_param():
     )
     assert list(payload["policies"]) == ["flooding"]
     assert list(payload["failure_policies"]) == ["flooding"]
+    assert list(payload["adaptive_policies"]) == ["flooding"]
 
 
 def test_crosscheck_raises_on_disagreement():

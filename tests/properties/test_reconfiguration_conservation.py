@@ -1,0 +1,95 @@
+"""Wire conservation under every reconfiguration source.
+
+The repo now has three distinct ways to change the dissemination tree
+mid-run -- planned churn, unplanned failures, and drift-triggered
+adaptive rewiring.  Each reaches the kernels through its own front end,
+but all three ultimately retarget live edges while updates are in
+flight, which is exactly where a charging bug would hide.  This module
+pins the shared invariant once, parametrized over the source:
+
+- ``deliveries + drops == messages`` (nothing double-charged, nothing
+  silently freed);
+- the fidelity score stays a percentage;
+- the run really did reconfigure (the parametrization is not vacuous);
+- scalar and vectorized kernels agree bit-for-bit wherever both
+  support the source (churn remains scalar-only).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.adaptive import AdaptivePolicy
+from repro.engine.churn import synthetic_schedule
+from repro.engine.config import SCALE_PRESETS
+from repro.engine.failures import FailureEvent, FailureSchedule
+from repro.engine.simulation import run_simulation
+from repro.workloads import FlashCrowdWorkload
+
+BASE = SCALE_PRESETS["tiny"].with_(
+    n_repositories=8, n_routers=24, n_items=2, trace_samples=120, seed=3913
+)
+
+_SPAN = float(BASE.trace_samples - 1)
+
+
+def _churn_config():
+    schedule = synthetic_schedule(
+        repositories=range(1, BASE.n_repositories + 1),
+        n_items=BASE.n_items,
+        span_s=_SPAN,
+        joins=1,
+        departs=2,
+        updates=1,
+        seed=7,
+    )
+    return BASE.with_(churn=schedule)
+
+
+def _failures_config():
+    schedule = FailureSchedule(
+        (
+            FailureEvent.crash(30.0, 3),
+            FailureEvent.recover(70.0, 3),
+            FailureEvent.crash(55.0, 5),
+        )
+    )
+    return BASE.with_(failures=schedule)
+
+
+def _adaptive_config():
+    return BASE.with_(
+        workload=FlashCrowdWorkload(),
+        adaptive=AdaptivePolicy(window=20.0, threshold=0.5, max_rewires=2),
+    )
+
+
+SOURCES = {
+    "churn": (_churn_config, False),
+    "failures": (_failures_config, True),
+    "adaptive": (_adaptive_config, True),
+}
+
+
+def _assert_reconfigured(source: str, result) -> None:
+    assert result.counters.reconfigurations > 0
+    if source == "adaptive":
+        assert result.extras["adaptive_rewires"] > 0
+    elif source == "failures":
+        assert result.extras["failure_events"] > 0
+
+
+@pytest.mark.parametrize("loss", [0.0, 0.05])
+@pytest.mark.parametrize("source", sorted(SOURCES))
+def test_deliveries_plus_drops_equal_messages(source, loss):
+    make_config, vectorizable = SOURCES[source]
+    config = make_config().with_(message_loss_probability=loss)
+    scalar = run_simulation(config.with_(kernel="scalar"))
+    counters = scalar.counters
+    assert counters.deliveries + counters.drops == counters.messages
+    if loss == 0.0:
+        assert counters.drops == 0 or source == "failures"
+    assert 0.0 <= scalar.loss_of_fidelity <= 100.0
+    _assert_reconfigured(source, scalar)
+    if vectorizable:
+        assert run_simulation(config.with_(kernel="vectorized")) == scalar

@@ -201,6 +201,7 @@ def test_run_all_knows_every_experiment():
         "churn_resilience",
         "failure_resilience",
         "workload_sensitivity",
+        "adaptive_tradeoff",
         "live_crosscheck",
     }
 
