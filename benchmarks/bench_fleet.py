@@ -1,0 +1,115 @@
+"""Benchmark: sharded fleet vs single-process TCP delivery capacity.
+
+The same loaded tiny-preset workload is replayed twice over real
+sockets at an aggressive time scale -- once through the single-process
+TCP transport (one event loop realises every delivery), once through a
+four-worker fleet (each worker's loop realises only its shard).  Both
+paths reproduce the exact same logical message sequence, so the
+comparison isolates transport capacity:
+
+- **agreement**: the fleet replays the same wire count as both
+  single-process transports and scores fidelity with the jitter-free
+  in-process reference -- sharding changes where work runs, never what
+  happens;
+- **capacity**: at four workers the fleet's steady-state delivery rate
+  must at least match the single process.  The fleet rate is scored
+  over the replay window (epoch to quiescence); the N redundant
+  config rebuilds happen before the epoch and amortise over run
+  length, so they are deliberately excluded.
+
+Skipped on boxes without four cores (the claim is about parallelism)
+or without localhost sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import socket
+
+import pytest
+
+from benchmarks.conftest import BENCH_OVERRIDES
+from repro.engine import SCALE_PRESETS
+from repro.fleet import run_fleet
+from repro.live import run_live
+
+#: Simulated seconds per wall second: high enough that delivery work,
+#: not schedule pacing, bounds the rate.
+TIME_SCALE = 2_000.0
+
+WORKERS = 4
+
+
+def _config():
+    return SCALE_PRESETS["tiny"].with_(**BENCH_OVERRIDES)
+
+
+def _require_sockets():
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            probe.bind(("127.0.0.1", 0))
+        finally:
+            probe.close()
+    except OSError as exc:  # pragma: no cover - sandboxed environments
+        pytest.skip(f"cannot bind localhost sockets here: {exc}")
+
+
+def bench_fleet_vs_single_process(benchmark):
+    if (os.cpu_count() or 1) < WORKERS:
+        pytest.skip(f"fleet capacity claim needs >= {WORKERS} cores")
+    _require_sockets()
+    config = _config()
+
+    # Ground truth for fidelity: the deterministic in-process transport.
+    # The TCP run provides the capacity baseline but scores through
+    # wall-clock jitter at this aggressive time scale, so fidelity
+    # agreement is judged against the jitter-free reference.
+    reference = run_live(config, "inprocess")
+    single = run_live(config, "tcp", time_scale=TIME_SCALE)
+    assert single.conserved and single.dropped == 0
+
+    fleet = benchmark.pedantic(
+        run_fleet,
+        args=(config,),
+        kwargs=dict(workers=WORKERS, time_scale=TIME_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    assert fleet.conserved and fleet.dropped == 0
+    # Same logical run: identical wire volume, near-identical fidelity.
+    assert fleet.sent == single.sent == reference.sent
+    assert abs(fleet.loss_of_fidelity - reference.loss_of_fidelity) <= 0.5
+
+    single_rate = single.delivered / single.wall_seconds
+    fleet_rate = fleet.delivered / fleet.extras["worker_wall_seconds"]
+    benchmark.extra_info["single_deliveries_per_s"] = round(single_rate)
+    benchmark.extra_info["fleet_deliveries_per_s"] = round(fleet_rate)
+    benchmark.extra_info["workers"] = WORKERS
+    benchmark.extra_info["speedup"] = round(fleet_rate / single_rate, 2)
+
+    _write_artifact(
+        "bench_fleet.json",
+        {
+            "workers": WORKERS,
+            "time_scale": TIME_SCALE,
+            "single_deliveries_per_s": round(single_rate),
+            "fleet_deliveries_per_s": round(fleet_rate),
+            "speedup": round(fleet_rate / single_rate, 3),
+            "sent": fleet.sent,
+            "loss_of_fidelity": fleet.loss_of_fidelity,
+        },
+    )
+
+    assert fleet_rate >= single_rate, (
+        f"a {WORKERS}-worker fleet moved {fleet_rate:.0f} deliveries/s "
+        f"against {single_rate:.0f}/s single-process; sharding made the "
+        "live plane slower"
+    )
+
+
+def _write_artifact(name: str, payload: dict) -> None:
+    out_dir = pathlib.Path(os.environ.get("BENCH_ARTIFACT_DIR", "."))
+    (out_dir / name).write_text(json.dumps(payload, indent=2) + "\n")

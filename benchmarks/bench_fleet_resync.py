@@ -1,0 +1,74 @@
+"""Benchmark: sampled anti-entropy vs full-state transfer on rejoin.
+
+The golden rejoin scenario: a repository serving 256 items reconnects
+after a severed link lost the forwards for its three stalest items.  A
+full-state resync would ship one frame pair plus all 256 values; the
+setdiscovery-style sampled exchange probes a digest, samples
+stalest-first and replays only the three-item delta.  The benchmark
+asserts the sampled cost is *strictly* below full transfer, and that
+the common no-loss rejoin collapses to the two-frame digest fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.fleet import full_transfer_cost, run_resync
+
+N_ITEMS = 256
+N_LOST = 3
+
+
+def _golden_rejoin():
+    child = {item: 100 for item in range(N_ITEMS)}
+    parent = {item: (100, 1.0) for item in range(N_ITEMS)}
+    for item in range(N_LOST):
+        child[item] = 60  # the severed tail: stalest heads at the child
+        parent[item] = (100, 2.5)
+    return child, parent
+
+
+def bench_sampled_resync_beats_full_transfer(benchmark):
+    child, parent = _golden_rejoin()
+    missing, cost = benchmark.pedantic(
+        run_resync, args=(child, parent), rounds=1, iterations=1
+    )
+
+    assert {item for item, _seq, _value in missing} == set(range(N_LOST))
+    full = full_transfer_cost(N_ITEMS)
+    benchmark.extra_info["sampled_messages"] = cost.messages
+    benchmark.extra_info["full_transfer_messages"] = full
+    benchmark.extra_info["rounds"] = cost.rounds
+    benchmark.extra_info["savings_ratio"] = round(full / cost.messages, 1)
+
+    # The no-loss rejoin (the overwhelmingly common reconnect) is two
+    # frames regardless of item count.
+    clean = {item: 100 for item in range(N_ITEMS)}
+    clean_parent = {item: (100, 1.0) for item in range(N_ITEMS)}
+    _nothing, clean_cost = run_resync(clean, clean_parent)
+    assert clean_cost.messages == 2
+    assert clean_cost.rounds == 1
+
+    _write_artifact(
+        "bench_fleet_resync.json",
+        {
+            "n_items": N_ITEMS,
+            "n_lost": N_LOST,
+            "sampled_messages": cost.messages,
+            "full_transfer_messages": full,
+            "digest_fast_path_messages": clean_cost.messages,
+            "rounds": cost.rounds,
+        },
+    )
+
+    assert cost.messages < full, (
+        f"sampled resync cost {cost.messages} messages, not below the "
+        f"full-transfer baseline of {full}"
+    )
+
+
+def _write_artifact(name: str, payload: dict) -> None:
+    out_dir = pathlib.Path(os.environ.get("BENCH_ARTIFACT_DIR", "."))
+    (out_dir / name).write_text(json.dumps(payload, indent=2) + "\n")

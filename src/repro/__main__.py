@@ -24,6 +24,14 @@ hangs off the ``live`` subcommand::
     python -m repro live run --preset tiny
     python -m repro live run --transport tcp --time-scale 600 --duration 60
     python -m repro live loadgen --jobs 16 --preset tiny
+
+The multi-process fleet (the live network sharded across worker
+processes, with sample-based anti-entropy resync on reconnect) hangs
+off the ``fleet`` subcommand::
+
+    python -m repro fleet run --workers 4 --preset tiny --time-scale 600
+    python -m repro fleet run --workers 2 --crosscheck --duration 60
+    python -m repro fleet loadgen --workers 4 --jobs 1000 --preset tiny
 """
 
 from __future__ import annotations
@@ -333,6 +341,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="tcp connection attempts before a frame is counted as "
             "dropped (default: 5; ignored by inprocess)",
         )
+        sub.add_argument(
+            "--quiesce-timeout", type=float, default=30.0, metavar="S",
+            help="wall seconds to wait for in-flight tcp messages after "
+            "the replay before counting them as drops (default: 30; "
+            "ignored by inprocess)",
+        )
+        sub.add_argument(
+            "--drain-timeout", type=float, default=2.0, metavar="S",
+            help="wall seconds granted to tcp connection handlers to "
+            "flush buffered frames at teardown (default: 2; ignored by "
+            "inprocess)",
+        )
+        sub.add_argument(
+            "--wall-stretch-cap", type=float, default=20.0, metavar="X",
+            help="cap on the internal budget stretch applied when "
+            "--time-scale runs slower than 60x; raise on slow CI "
+            "machines (default: 20; ignored by inprocess)",
+        )
 
     live_run = live_actions.add_parser(
         "run", help="replay the workload through a live network"
@@ -347,6 +373,120 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--jobs", dest="live_jobs", type=_job_count, default=8, metavar="N",
         help="number of concurrent synthetic clients (default: 8)",
+    )
+
+    fleet = subcommands.add_parser(
+        "fleet",
+        help="the multi-process live fleet: run | loadgen",
+        description=(
+            "Run the live repository network sharded across worker "
+            "processes: each worker hosts a shard of the d3g, workers "
+            "speak the hardened wire protocol over localhost TCP, and "
+            "repositories anti-entropy-resync against their parents on "
+            "reconnect."
+        ),
+    )
+    fleet_actions = fleet.add_subparsers(
+        dest="fleet_command", metavar="ACTION", required=True
+    )
+
+    def _fleet_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--workers", type=int, default=2, metavar="N",
+            help="worker processes the shards spread over (default: 2)",
+        )
+        sub.add_argument(
+            "--preset", dest="fleet_preset", default="tiny",
+            choices=sorted(SCALE_PRESETS), help="scale preset (default: tiny)",
+        )
+        sub.add_argument(
+            "--policy", dest="fleet_policy", default="distributed",
+            choices=available_policies(),
+            help="dissemination policy (default: distributed)",
+        )
+        sub.add_argument(
+            "--t", dest="fleet_t", type=float, default=80.0, metavar="PERCENT",
+            help="share of stringent coherency tolerances (default: 80)",
+        )
+        sub.add_argument(
+            "--seed", dest="fleet_seed", type=int, default=None,
+            help="master seed (default: preset seed)",
+        )
+        sub.add_argument(
+            "--time-scale", type=float, default=60.0, metavar="X",
+            help="simulated seconds per wall second (default: 60)",
+        )
+        sub.add_argument(
+            "--duration", type=float, default=None, metavar="S",
+            help="truncate the replay to the first S simulated seconds "
+            "(default: the full trace span)",
+        )
+        sub.add_argument(
+            "--quiesce-timeout", type=float, default=30.0, metavar="S",
+            help="wall budget for fleet-wide quiescence after the replay "
+            "(default: 30)",
+        )
+        sub.add_argument(
+            "--heartbeat-interval", type=float, default=0.5, metavar="S",
+            help="per-link liveness-probe period in wall seconds; 0 "
+            "disables (default: 0.5)",
+        )
+        sub.add_argument(
+            "--reconnect-backoff", type=float, default=0.05, metavar="S",
+            help="initial link reconnect backoff, doubled per attempt "
+            "(default: 0.05)",
+        )
+        sub.add_argument(
+            "--reconnect-attempts", type=int, default=5, metavar="N",
+            help="connection attempts before a frame is counted as "
+            "dropped (default: 5)",
+        )
+        sub.add_argument(
+            "--wall-stretch-cap", type=float, default=20.0, metavar="X",
+            help="cap on the slow---time-scale budget stretch "
+            "(default: 20)",
+        )
+        sub.add_argument(
+            "--queue-high", type=int, default=256, metavar="N",
+            help="send-queue depth at which producers block (default: 256)",
+        )
+        sub.add_argument(
+            "--queue-low", type=int, default=64, metavar="N",
+            help="send-queue depth at which blocked producers resume "
+            "(default: 64)",
+        )
+        sub.add_argument(
+            "--resync-sample", type=int, default=8, metavar="N",
+            help="first anti-entropy sample-round size; rounds double "
+            "from here (default: 8)",
+        )
+        sub.add_argument(
+            "--sever-at", type=float, default=None, metavar="S",
+            help="fault injection: sever worker 0's outbound links at "
+            "this simulated time, exercising reconnect + anti-entropy "
+            "resync (default: off)",
+        )
+
+    fleet_run = fleet_actions.add_parser(
+        "run", help="replay the workload through a sharded fleet"
+    )
+    _fleet_common(fleet_run)
+    fleet_run.add_argument(
+        "--crosscheck", action="store_true",
+        help="also run the single-process inprocess transport on the "
+        "same config and verify the fleet agrees on fidelity within "
+        "0.5pp (exits nonzero on disagreement)",
+    )
+
+    fleet_loadgen = fleet_actions.add_parser(
+        "loadgen",
+        help="shard synthetic clients across the fleet and report",
+    )
+    _fleet_common(fleet_loadgen)
+    fleet_loadgen.add_argument(
+        "--jobs", dest="fleet_jobs", type=_job_count, default=64, metavar="N",
+        help="number of synthetic clients, sharded across the workers "
+        "(default: 64)",
     )
     return parser
 
@@ -470,6 +610,9 @@ def _live_knobs(args) -> dict:
         heartbeat_interval_s=args.heartbeat_interval,
         reconnect_backoff_s=args.reconnect_backoff,
         reconnect_attempts=args.reconnect_attempts,
+        quiesce_timeout_s=args.quiesce_timeout,
+        drain_timeout_s=args.drain_timeout,
+        wall_stretch_cap=args.wall_stretch_cap,
     )
 
 
@@ -538,9 +681,102 @@ def _live_loadgen(args) -> None:
               f"{sum(client.met.values()):>4} {worst:>21.3f}")
 
 
+def _fleet_config(args):
+    overrides: dict = {"t_percent": args.fleet_t, "policy": args.fleet_policy}
+    if args.fleet_seed is not None:
+        overrides["seed"] = args.fleet_seed
+    return preset_config(args.fleet_preset, **overrides)
+
+
+def _fleet_knobs(args) -> dict:
+    return dict(
+        workers=args.workers,
+        duration=args.duration,
+        time_scale=args.time_scale,
+        quiesce_timeout_s=args.quiesce_timeout,
+        heartbeat_interval_s=args.heartbeat_interval,
+        reconnect_backoff_s=args.reconnect_backoff,
+        reconnect_attempts=args.reconnect_attempts,
+        wall_stretch_cap=args.wall_stretch_cap,
+        queue_high=args.queue_high,
+        queue_low=args.queue_low,
+        resync_sample=args.resync_sample,
+        sever_at_s=args.sever_at,
+    )
+
+
+def _print_fleet_result(result, args) -> None:
+    rate = result.delivered / result.wall_seconds if result.wall_seconds else 0.0
+    print(f"preset={args.fleet_preset} policy={args.fleet_policy} "
+          f"workers={result.extras['workers']} "
+          f"shards={result.extras['shard_sizes']}")
+    print(f"observed loss of fidelity : {result.loss_of_fidelity:.3f} %")
+    print(f"messages (repo plane)     : {result.messages}")
+    print(f"sent/delivered/dropped    : {result.sent}/{result.delivered}"
+          f"/{result.dropped} (conserved={result.conserved})")
+    print(f"replayed span             : {result.sim_span_s:.0f} s simulated")
+    print(f"wall time                 : {result.wall_seconds:.2f} s "
+          f"({rate:.0f} deliveries/s)")
+    print(f"queue stalls              : {result.extras['queue_stalls']}")
+    if result.extras.get("reconnects") or result.counters.resyncs:
+        print(f"reconnects                : "
+              f"{result.extras.get('reconnects', 0)}")
+        print(f"resyncs (checks/msgs)     : {result.counters.resyncs} "
+              f"({result.counters.resync_checks}"
+              f"/{result.counters.resync_messages})")
+
+
+def _fleet_run(args) -> None:
+    from repro.fleet import run_fleet
+    from repro.live import run_live
+
+    config = _fleet_config(args)
+    result = run_fleet(config, **_fleet_knobs(args))
+    _print_fleet_result(result, args)
+    if not result.conserved:
+        raise SystemExit("fleet run violated wire conservation")
+    if args.crosscheck:
+        single = run_live(config, "inprocess", duration=args.duration)
+        gap = abs(single.loss_of_fidelity - result.loss_of_fidelity)
+        print(f"crosscheck single-process : loss="
+              f"{single.loss_of_fidelity:.3f} % (gap {gap:.3f} pp)")
+        if gap > 0.5:
+            raise SystemExit(
+                f"fleet fidelity diverged from the single-process run by "
+                f"{gap:.3f} pp (> 0.5 pp)"
+            )
+
+
+def _fleet_loadgen(args) -> None:
+    from repro.fleet import run_fleet_loadgen
+
+    if args.fleet_jobs < 1:
+        raise SystemExit("--jobs must be >= 1 for loadgen")
+    config = _fleet_config(args)
+    report = run_fleet_loadgen(
+        config, args.fleet_jobs, **_fleet_knobs(args)
+    )
+    result = report.result
+    _print_fleet_result(result, args)
+    print(f"clients (sharded)         : {args.fleet_jobs}")
+    print(f"client requirements met   : {report.n_met}/{report.n_requirements} "
+          f"({100.0 * report.met_fraction:.0f}%)")
+    print(f"client messages           : "
+          f"{result.extras.get('client_messages', 0)}")
+
+
 def main(argv: list[str] | None = None) -> None:
     args = build_parser().parse_args(argv)
 
+    if getattr(args, "command", None) == "fleet":
+        try:
+            if args.fleet_command == "run":
+                _fleet_run(args)
+            else:
+                _fleet_loadgen(args)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
+        return
     if getattr(args, "command", None) == "live":
         try:
             if args.live_command == "run":

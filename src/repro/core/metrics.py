@@ -124,6 +124,35 @@ class CostCounters:
         self.client_checks += checks
         self.client_messages += messages
 
+    def merge(self, other: "CostCounters") -> None:
+        """Fold another run-fragment's counters into this one.
+
+        The fleet supervisor merges per-worker counters with this:
+        every scalar field adds, the per-node dicts union-add.  Merging
+        is commutative and associative, so the fleet total is
+        independent of worker arrival order.
+        """
+        self.messages += other.messages
+        self.source_checks += other.source_checks
+        self.repository_checks += other.repository_checks
+        self.source_messages += other.source_messages
+        self.deliveries += other.deliveries
+        self.drops += other.drops
+        self.reconfigurations += other.reconfigurations
+        self.edges_added += other.edges_added
+        self.edges_removed += other.edges_removed
+        self.client_checks += other.client_checks
+        self.client_messages += other.client_messages
+        self.resyncs += other.resyncs
+        self.resync_checks += other.resync_checks
+        self.resync_messages += other.resync_messages
+        for node, count in other.per_node_messages.items():
+            self.per_node_messages[node] = (
+                self.per_node_messages.get(node, 0) + count
+            )
+        for node, count in other.per_node_checks.items():
+            self.per_node_checks[node] = self.per_node_checks.get(node, 0) + count
+
     def busiest_sender(self) -> tuple[int, int] | None:
         """(node, messages) for the node that sent the most messages."""
         if not self.per_node_messages:

@@ -1,0 +1,268 @@
+"""Sample-based anti-entropy resync of a repository against its parent.
+
+After a severed worker link is re-established, a repository may have
+missed a suffix of what its parent forwarded (links are FIFO, so a
+severance loses a contiguous tail per edge).  Rather than re-shipping
+the parent's full per-item state, the pair runs a setdiscovery-style
+exchange (mercurial's ``setdiscovery``: probe with a digest, then
+sample the undecided set in growing rounds) over their per-item update
+*sequence numbers*:
+
+- round 0 is a digest probe: the child hashes its received heads
+  (``item -> highest source seq received``); the parent hashes what it
+  last *forwarded* on the child's edges.  Equal digests end the session
+  in one round trip -- the overwhelmingly common case, since most
+  reconnects lose nothing;
+- on a mismatch the child samples its undecided items -- stalest heads
+  first, since an item whose head is oldest has most likely missed a
+  forward -- in exponentially growing rounds.  The parent classifies
+  each sampled ``(item, seq)`` against its forwarded heads and batches
+  the fresh ``(item, seq, value)`` for every item the child is behind
+  on into the response, so discovering a gap and replaying it is the
+  same round trip.
+
+Comparing against the parent's per-edge *forwarded* heads (not the
+source's published heads) is what keeps coherency filtering invisible:
+an update the parent's filter pruned was never owed to the child, so
+it can never read as a missed update.
+
+Cost accounting follows :meth:`~repro.core.metrics.CostCounters.
+record_resync`: ``checks`` sampled comparisons, ``messages`` counted as
+frames on the wire plus values transferred -- the same unit as the
+full-transfer baseline (:func:`full_transfer_cost`), which ships one
+frame pair plus every item's value unconditionally.
+
+The state machines are sans-io: :class:`ChildSession` emits
+:class:`~repro.live.protocol.ResyncRequest` frames and absorbs
+:class:`~repro.live.protocol.ResyncResponse` frames, :class:`ParentView`
+maps requests to responses.  The fleet worker drives them over its
+peer links; tests and benchmarks drive them directly through
+:func:`run_resync`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.live.protocol import ResyncRequest, ResyncResponse
+
+__all__ = [
+    "AntiEntropyCost",
+    "ChildSession",
+    "ParentView",
+    "full_transfer_cost",
+    "heads_digest",
+    "run_resync",
+]
+
+#: First sample-round size; rounds double from here (8, 16, 32, ...),
+#: mirroring setdiscovery's growing samples.
+DEFAULT_SAMPLE_SIZE = 8
+
+
+def heads_digest(heads: dict[int, int]) -> str:
+    """Order-independent digest of a per-item head set."""
+    blob = ",".join(f"{item}:{seq}" for item, seq in sorted(heads.items()))
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+
+def full_transfer_cost(n_items: int) -> int:
+    """Messages a full-state resync costs: one frame pair plus every value."""
+    return 2 + n_items
+
+
+@dataclass
+class AntiEntropyCost:
+    """What one resync session cost.
+
+    Attributes:
+        rounds: Round trips taken (1 = digest matched).
+        frames: Request/response frames exchanged (two per round).
+        checks: Sampled per-item head comparisons the parent performed.
+        transferred: Values replayed to the child (the missed set).
+    """
+
+    rounds: int = 0
+    frames: int = 0
+    checks: int = 0
+    transferred: int = 0
+
+    @property
+    def messages(self) -> int:
+        """Total cost in the full-transfer-comparable unit."""
+        return self.frames + self.transferred
+
+
+class ParentView:
+    """The parent's side: classify samples against its forwarded heads.
+
+    Args:
+        heads: ``item -> (last forwarded seq, last forwarded value)``
+            over the edges toward one child, 0-seq entries included for
+            items served but never forwarded.
+    """
+
+    def __init__(self, heads: dict[int, tuple[int, float]]) -> None:
+        self.heads = dict(heads)
+        self._digest = heads_digest(
+            {item: seq for item, (seq, _value) in self.heads.items()}
+        )
+
+    def respond(self, request: ResyncRequest) -> ResyncResponse:
+        """Answer one round: digest verdict, or sample classification."""
+        if request.round_no == 0:
+            return ResyncResponse(
+                child=request.child,
+                parent=request.parent,
+                round_no=0,
+                complete=request.digest == self._digest,
+            )
+        known: list[int] = []
+        missing: list[tuple[int, int, float]] = []
+        for item_id, child_seq in request.sample:
+            head = self.heads.get(item_id)
+            if head is None or child_seq >= head[0]:
+                known.append(item_id)
+            else:
+                missing.append((item_id, head[0], head[1]))
+        return ResyncResponse(
+            child=request.child,
+            parent=request.parent,
+            round_no=request.round_no,
+            known=tuple(known),
+            missing=tuple(missing),
+        )
+
+
+class ChildSession:
+    """The child's side: drive rounds until every item is classified.
+
+    Args:
+        child / parent: Node ids, echoed into the frames.
+        heads: ``item -> highest source seq received`` from this parent,
+            0 for items served but never received.
+        sample_size: First sample-round size (doubles per round).
+    """
+
+    def __init__(
+        self,
+        child: int,
+        parent: int,
+        heads: dict[int, int],
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+    ) -> None:
+        if sample_size < 1:
+            raise SimulationError(f"sample_size must be >= 1, got {sample_size!r}")
+        self.child = child
+        self.parent = parent
+        self.heads = dict(heads)
+        self.cost = AntiEntropyCost()
+        #: The replayed missed set, ``(item, seq, value)`` in discovery
+        #: order; applied by the caller.
+        self.missing: list[tuple[int, int, float]] = []
+        self._sample_size = sample_size
+        # Stalest-first: the oldest heads are the likeliest to have
+        # missed a forward, so they are probed in the earliest (small)
+        # rounds and a localised loss resolves without sampling the
+        # whole set.
+        self._undecided = sorted(
+            self.heads, key=lambda item: (self.heads[item], item)
+        )
+        self._round_no = 0
+        self._done = False
+        self._awaiting: ResyncRequest | None = None
+
+    @property
+    def done(self) -> bool:
+        """True once every item is classified (or the digest matched)."""
+        return self._done
+
+    def next_request(self) -> ResyncRequest | None:
+        """The next frame to send, or ``None`` when the session is over."""
+        if self._done or self._awaiting is not None:
+            return None
+        if self._round_no == 0:
+            request = ResyncRequest(
+                child=self.child,
+                parent=self.parent,
+                round_no=0,
+                digest=heads_digest(self.heads),
+            )
+        else:
+            take = self._sample_size * (2 ** (self._round_no - 1))
+            sample = tuple(
+                (item, self.heads[item]) for item in self._undecided[:take]
+            )
+            request = ResyncRequest(
+                child=self.child,
+                parent=self.parent,
+                round_no=self._round_no,
+                sample=sample,
+            )
+        self._awaiting = request
+        self.cost.frames += 1
+        return request
+
+    def absorb(self, response: ResyncResponse) -> None:
+        """Fold one response in and advance the round counter.
+
+        Raises:
+            SimulationError: on a response that answers no outstanding
+                request (a protocol violation by the parent).
+        """
+        request = self._awaiting
+        if request is None or response.round_no != request.round_no:
+            raise SimulationError(
+                f"unsolicited resync response round {response.round_no} "
+                f"for child {self.child}"
+            )
+        self._awaiting = None
+        self.cost.frames += 1
+        self.cost.rounds += 1
+        if response.round_no == 0:
+            if response.complete:
+                self._done = True
+            else:
+                self._round_no = 1
+                if not self._undecided:
+                    # Digest mismatch with nothing to sample: the head
+                    # sets disagree on membership, not on seqs; nothing
+                    # can be pulled.
+                    self._done = True
+            return
+        decided = set(response.known)
+        for item_id, seq, value in response.missing:
+            decided.add(item_id)
+            self.missing.append((int(item_id), int(seq), float(value)))
+            self.heads[int(item_id)] = int(seq)
+        self.cost.checks += len(request.sample)
+        self.cost.transferred += len(response.missing)
+        self._undecided = [i for i in self._undecided if i not in decided]
+        if self._undecided:
+            self._round_no += 1
+        else:
+            self._done = True
+
+
+def run_resync(
+    child_heads: dict[int, int],
+    parent_heads: dict[int, tuple[int, float]],
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    child: int = 0,
+    parent: int = 0,
+) -> tuple[list[tuple[int, int, float]], AntiEntropyCost]:
+    """Drive one full session in-process; returns (missed set, cost).
+
+    The wire-free twin of what the fleet worker runs over its peer
+    links -- same state machines, same frames, no sockets.
+    """
+    session = ChildSession(child, parent, child_heads, sample_size=sample_size)
+    view = ParentView(parent_heads)
+    while not session.done:
+        request = session.next_request()
+        if request is None:  # defensive: an undone session always has one
+            raise SimulationError("resync session stalled without a request")
+        session.absorb(view.respond(request))
+    return session.missing, session.cost

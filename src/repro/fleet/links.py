@@ -1,0 +1,83 @@
+"""Backpressured send queues for worker-to-worker links.
+
+``asyncio.Queue(maxsize=n)`` blocks producers the moment the queue is
+full and wakes them one slot at a time, which under a bursty source
+turns into lockstep producer/consumer ping-pong.  A watermark queue
+gives the link hysteresis: producers run freely until the *high*
+watermark, then stall as a group until the writer task drains the
+backlog below the *low* watermark.  The stall counter is exported into
+the worker's report so a fleet run can show where backpressure
+actually bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SendQueue"]
+
+
+class SendQueue:
+    """FIFO with high/low watermark backpressure.
+
+    Args:
+        high: Queue depth at which :meth:`put` starts blocking.
+        low: Depth the consumer must drain to before blocked producers
+            resume; must be below ``high``.
+    """
+
+    def __init__(self, high: int = 256, low: int = 64) -> None:
+        if high < 1:
+            raise ConfigurationError(f"high watermark must be >= 1, got {high!r}")
+        if not 0 <= low < high:
+            raise ConfigurationError(
+                f"low watermark must be in [0, high), got {low!r} for high {high!r}"
+            )
+        self.high = high
+        self.low = low
+        #: Times a producer blocked on the high watermark.
+        self.stalls = 0
+        self._items: deque = deque()
+        self._writable = asyncio.Event()
+        self._writable.set()
+        self._readable = asyncio.Event()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    async def put(self, item) -> None:
+        """Enqueue, blocking while the backlog sits above the watermarks."""
+        if not self._writable.is_set():
+            self.stalls += 1
+            await self._writable.wait()
+        self._items.append(item)
+        self._readable.set()
+        if len(self._items) >= self.high:
+            self._writable.clear()
+
+    def put_nowait(self, item) -> None:
+        """Enqueue without ever blocking (control frames jump backpressure)."""
+        self._items.append(item)
+        self._readable.set()
+        if len(self._items) >= self.high:
+            self._writable.clear()
+
+    async def get(self):
+        """Dequeue the oldest item, waiting for one when empty."""
+        while not self._items:
+            self._readable.clear()
+            await self._readable.wait()
+        item = self._items.popleft()
+        if not self._writable.is_set() and len(self._items) <= self.low:
+            self._writable.set()
+        return item
+
+    def drain_nowait(self) -> list:
+        """Empty the queue synchronously (teardown path)."""
+        items = list(self._items)
+        self._items.clear()
+        self._writable.set()
+        return items

@@ -740,9 +740,16 @@ def build_live_network(
 
 
 def _score(
-    network: LiveNetwork, duration: float | None
+    network: LiveNetwork,
+    duration: float | None,
+    only: set[int] | None = None,
 ) -> tuple[FidelityAccumulator, dict[tuple[int, int], float], float]:
-    """Observed fidelity from the delivery logs, sim-identically."""
+    """Observed fidelity from the delivery logs, sim-identically.
+
+    ``only`` restricts scoring to a subset of repositories -- fleet
+    workers score just their own shard and the supervisor re-merges the
+    per-pair losses.
+    """
     accumulator = FidelityAccumulator()
     per_pair: dict[tuple[int, int], float] = {}
     span = 0.0
@@ -753,6 +760,8 @@ def _score(
         span = max(span, item_span)
     controller = network.failures
     for repo, profile in network.setup.profiles.items():
+        if only is not None and repo not in only:
+            continue
         node = network.repositories[repo]
         for item_id, c_own in profile.requirements.items():
             trace = network.setup.traces[item_id]
@@ -796,11 +805,19 @@ def _score(
 
 
 def _score_clients(
-    network: LiveNetwork, duration: float | None
+    network: LiveNetwork,
+    duration: float | None,
+    only: set[int] | None = None,
 ) -> dict[int, dict[int, float]]:
-    """Observed per-client loss at each client's own tolerance."""
+    """Observed per-client loss at each client's own tolerance.
+
+    ``only`` restricts scoring to a subset of client *node ids* (fleet
+    workers score the clients attached to their shard's repositories).
+    """
     observed: dict[int, dict[int, float]] = {}
     for client_node in network.clients.values():
+        if only is not None and client_node.node not in only:
+            continue
         per_item: dict[int, float] = {}
         for item_id, tolerance in sorted(client_node.requirements.items()):
             trace = network.setup.traces[item_id]
@@ -833,6 +850,8 @@ def run_live(
     heartbeat_interval_s: float = 0.5,
     reconnect_backoff_s: float = 0.05,
     reconnect_attempts: int = 5,
+    drain_timeout_s: float = 2.0,
+    wall_stretch_cap: float = 20.0,
     clients: ClientPopulation | None = None,
     network: LiveNetwork | None = None,
 ) -> LiveRunResult:
@@ -865,6 +884,12 @@ def run_live(
             backoff.
         reconnect_attempts: Reconnect attempts before a frame is
             dropped.
+        drain_timeout_s: Wall seconds TCP grants its connection
+            handlers to flush buffered frames at teardown (also scaled
+            by the wall-stretch factor).
+        wall_stretch_cap: Upper bound on the internal slow-``time_scale``
+            budget stretch factor; raise it on slow CI machines where
+            the 20x cap still flakes.
         clients: Optional end-client population to attach (ignored when
             ``network`` is given).
         network: Optional prebuilt network for exactly this config.
@@ -888,6 +913,8 @@ def run_live(
         heartbeat_interval_s=heartbeat_interval_s,
         reconnect_backoff_s=reconnect_backoff_s,
         reconnect_attempts=reconnect_attempts,
+        drain_timeout_s=drain_timeout_s,
+        wall_stretch_cap=wall_stretch_cap,
     )
     start = time.perf_counter()
     stats: TransportStats = driver.run(network, duration=duration)

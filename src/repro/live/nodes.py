@@ -59,13 +59,22 @@ class Outbound:
 
 @dataclass
 class Edge:
-    """One service edge a node pushes an item over."""
+    """One service edge a node pushes an item over.
+
+    ``last_seq``/``last_value`` record the head of what this edge has
+    actually forwarded (not everything the source published -- the
+    coherency filter prunes).  The fleet's anti-entropy resync compares
+    a child's received heads against exactly these per-edge forwarded
+    heads, so filtering decisions never read as false "missed updates".
+    """
 
     child: int
     c_serve: float
     filter: EdgeFilter
     link_delay_s: float
     is_client: bool = False
+    last_seq: int = 0
+    last_value: float = 0.0
 
 
 class _ForwardingNode:
@@ -118,6 +127,8 @@ class _ForwardingNode:
                 self.client_messages += 1
             else:
                 self.counters.record_message(self.node, is_source=is_source)
+                edge.last_seq = seq
+                edge.last_value = value
             out.append(
                 Outbound(
                     dst=edge.child,
@@ -192,10 +203,15 @@ class RepositoryNode(_ForwardingNode):
         self.receive_c = dict(receive_c)
         #: item_id -> [(arrival sim-time, value), ...]; primed by the harness.
         self.deliveries: dict[int, list[tuple[float, float]]] = {}
+        #: item_id -> highest source seq received -- the per-item heads
+        #: the anti-entropy resync samples over.
+        self.seqs: dict[int, int] = {}
 
     def on_message(self, update: Update, now: float) -> list[Outbound]:
         """Handle one pushed update: log it, then forward downstream."""
         self.counters.record_delivery()
+        if update.seq > self.seqs.get(update.item_id, 0):
+            self.seqs[update.item_id] = update.seq
         log = self.deliveries.get(update.item_id)
         if log is not None:
             log.append((now, update.value))

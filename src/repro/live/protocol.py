@@ -1,4 +1,4 @@
-"""Wire protocol of the live repository network.
+"""Wire protocol of the live repository network and the fleet.
 
 Frames are length-prefixed JSON: a 4-byte big-endian unsigned length
 followed by exactly that many bytes of UTF-8 JSON.  JSON keeps the
@@ -8,19 +8,37 @@ encoder emits ``repr``-faithful doubles.
 
 Message types (the ``"type"`` field):
 
+- ``hello`` -- connection handshake (:class:`Hello`): protocol version
+  plus the sender's identity and connection generation, written as the
+  first frame of every connection.  A version mismatch is a
+  :class:`ProtocolError`; the fleet uses the generation counter to
+  detect re-established connections and trigger anti-entropy resync;
 - ``update`` -- one data-item update flowing down the ``d3g``
   (:class:`Update`);
-- ``heartbeat`` -- connection liveness probe the TCP transport sends
-  between updates so severed peers are noticed and reconnected
-  (:class:`Heartbeat`); carries no data and stays out of the
-  wire-conservation accounting;
+- ``forward`` -- a cross-worker envelope around an update
+  (:class:`Forward`): the fleet multiplexes every node of a worker over
+  one connection, so the frame carries the destination node id and the
+  absolute simulated arrival time the receiving worker should realise;
+- ``heartbeat`` -- connection liveness probe sent between updates so
+  severed peers are noticed and reconnected (:class:`Heartbeat`);
+  carries no data and stays out of the wire-conservation accounting;
+- ``resync-request`` / ``resync-response`` -- one round of the
+  sample-based anti-entropy protocol (:class:`ResyncRequest`,
+  :class:`ResyncResponse`; the sans-io state machines live in
+  :mod:`repro.fleet.antientropy`);
 - ``bye`` -- orderly teardown marker sent by the harness
   (:class:`Bye`).
 
 The framing helpers are transport-agnostic: :func:`encode_message`
 returns the full frame, :func:`decode_payload` parses one frame body,
-and :func:`read_message` is the asyncio stream reader used by the TCP
-transport.
+:func:`read_message` is the asyncio stream reader used by the TCP
+transports, and :class:`FrameAssembler` reassembles frames from
+arbitrary byte chunks for callers that own their own socket loop.
+Every malformed input -- garbage bytes, truncated frames, oversized
+length prefixes, unknown message types, wrong fields -- surfaces as a
+:class:`ProtocolError`, never as a raw ``json``/``struct``/``asyncio``
+exception, so connection handlers can reject a bad peer without taking
+the run down.
 """
 
 from __future__ import annotations
@@ -28,24 +46,36 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 from repro.errors import ReproError
 
 __all__ = [
     "ProtocolError",
+    "Hello",
     "Update",
+    "Forward",
     "Heartbeat",
+    "ResyncRequest",
+    "ResyncResponse",
     "Bye",
     "Message",
+    "FrameAssembler",
     "encode_message",
     "decode_payload",
     "read_message",
     "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
 ]
 
-#: Upper bound on one frame body; a live update is tens of bytes, so
-#: anything bigger means a corrupt or hostile stream.
+#: Version of the wire protocol; bumped on any frame-shape change.  A
+#: :class:`Hello` carrying a different version is rejected at handshake
+#: time instead of failing mysteriously mid-stream.
+PROTOCOL_VERSION = 2
+
+#: Upper bound on one frame body; a live update is tens of bytes and an
+#: anti-entropy batch a few kilobytes, so anything bigger means a
+#: corrupt or hostile stream.
 MAX_FRAME_BYTES = 1 << 20
 
 _LENGTH = struct.Struct(">I")
@@ -53,6 +83,29 @@ _LENGTH = struct.Struct(">I")
 
 class ProtocolError(ReproError):
     """A malformed or oversized frame on a live connection."""
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Connection handshake, written first on every (re)connection.
+
+    Attributes:
+        src: Sender identity -- a worker id on fleet links, a node id on
+            single-process live links.
+        version: The sender's :data:`PROTOCOL_VERSION`; receivers reject
+            a mismatch with :class:`ProtocolError`.
+        generation: How many connections the sender has opened to this
+            peer, starting at 1.  A generation above 1 tells the
+            receiver the previous connection was severed -- frames may
+            have been dropped in between -- which is the fleet's trigger
+            for an anti-entropy resync.
+    """
+
+    src: int
+    version: int = PROTOCOL_VERSION
+    generation: int = 1
+
+    type: str = "hello"
 
 
 @dataclass(frozen=True)
@@ -66,7 +119,8 @@ class Update:
             policy's maximum violated tolerance; ``None`` otherwise).
         seq: Source-assigned sequence number, unique per run -- lets
             receivers and the harness correlate wire traffic with the
-            trace.
+            trace, and gives the anti-entropy protocol its per-item
+            heads.
         src: Node id of the sender (the serving node, not the source).
     """
 
@@ -80,12 +134,104 @@ class Update:
 
 
 @dataclass(frozen=True)
+class Forward:
+    """Cross-worker envelope: one :class:`Update` plus fleet routing.
+
+    Fleet workers multiplex all their hosted nodes over a single
+    connection per peer worker, so the destination node id travels in
+    the frame; ``arrival_s`` is the absolute simulated arrival time the
+    sending node computed (sender-side queueing and link delay
+    included), which the receiving worker realises against its own
+    epoch-synchronised clock.
+    """
+
+    dst: int
+    arrival_s: float
+    item_id: int
+    value: float
+    tag: float | None
+    seq: int
+    src: int
+
+    type: str = "forward"
+
+    @classmethod
+    def from_update(cls, dst: int, arrival_s: float, update: Update) -> "Forward":
+        return cls(
+            dst=dst,
+            arrival_s=arrival_s,
+            item_id=update.item_id,
+            value=update.value,
+            tag=update.tag,
+            seq=update.seq,
+            src=update.src,
+        )
+
+    def to_update(self) -> Update:
+        return Update(
+            item_id=self.item_id,
+            value=self.value,
+            tag=self.tag,
+            seq=self.seq,
+            src=self.src,
+        )
+
+
+@dataclass(frozen=True)
 class Heartbeat:
     """Liveness probe between updates; receivers discard it silently."""
 
     src: int
 
     type: str = "heartbeat"
+
+
+@dataclass(frozen=True)
+class ResyncRequest:
+    """One child-initiated round of the sample-based anti-entropy resync.
+
+    Attributes:
+        child: Repository node pulling its missed update-set.
+        parent: Serving node the child resyncs against.
+        round_no: 0 for the digest probe, then 1.. for sample rounds.
+        digest: Digest of the child's full per-item head set (round 0
+            only; empty otherwise).
+        sample: ``[item_id, seq]`` pairs of this round's sample (empty
+            on the digest probe).
+    """
+
+    child: int
+    parent: int
+    round_no: int
+    digest: str = ""
+    sample: tuple = field(default_factory=tuple)
+
+    type: str = "resync-request"
+
+
+@dataclass(frozen=True)
+class ResyncResponse:
+    """The parent's classification of one resync round.
+
+    Attributes:
+        child / parent / round_no: Echoed from the request.
+        complete: True when the digest matched -- the child missed
+            nothing and the session is over in one round trip.
+        known: Sampled item ids whose heads match what the parent last
+            forwarded (the child is current on these).
+        missing: ``[item_id, seq, value]`` triples for sampled items the
+            child fell behind on -- the delta replay, batched into the
+            response.
+    """
+
+    child: int
+    parent: int
+    round_no: int
+    complete: bool = False
+    known: tuple = field(default_factory=tuple)
+    missing: tuple = field(default_factory=tuple)
+
+    type: str = "resync-response"
 
 
 @dataclass(frozen=True)
@@ -97,9 +243,24 @@ class Bye:
     type: str = "bye"
 
 
-Message = Update | Heartbeat | Bye
+Message = Hello | Update | Forward | Heartbeat | ResyncRequest | ResyncResponse | Bye
 
-_DECODERS = {"update": Update, "heartbeat": Heartbeat, "bye": Bye}
+_DECODERS = {
+    "hello": Hello,
+    "update": Update,
+    "forward": Forward,
+    "heartbeat": Heartbeat,
+    "resync-request": ResyncRequest,
+    "resync-response": ResyncResponse,
+    "bye": Bye,
+}
+
+#: Fields that travel as JSON arrays but are tuples in the dataclasses
+#: (tuples keep the frozen messages hashable).
+_TUPLE_FIELDS = {
+    "resync-request": ("sample",),
+    "resync-response": ("known", "missing"),
+}
 
 
 def encode_message(message: Message) -> bytes:
@@ -129,10 +290,89 @@ def decode_payload(body: bytes) -> Message:
         raise ProtocolError(
             f"unknown message type {kind!r}; known: {sorted(_DECODERS)}"
         )
+    for name in _TUPLE_FIELDS.get(kind, ()):
+        value = document.get(name)
+        if isinstance(value, list):
+            document[name] = tuple(
+                tuple(entry) if isinstance(entry, list) else entry
+                for entry in value
+            )
     try:
         return decoder(**document)
     except TypeError as exc:
         raise ProtocolError(f"bad {kind!r} fields: {exc}") from None
+
+
+def check_version(hello: Hello) -> None:
+    """Reject a handshake from a peer speaking a different protocol.
+
+    Raises:
+        ProtocolError: when the peer's version differs from ours.
+    """
+    if hello.version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"peer {hello.src} speaks protocol version {hello.version}, "
+            f"this build speaks {PROTOCOL_VERSION}"
+        )
+
+
+__all__.append("check_version")
+
+
+class FrameAssembler:
+    """Incremental frame reassembly from arbitrary byte chunks.
+
+    Transports that own their socket loop feed whatever the OS hands
+    them -- half a length prefix, three frames and a bit, one byte at a
+    time -- and get back complete decoded messages.  All framing
+    violations (oversized length prefix, undecodable body) raise
+    :class:`ProtocolError`; after an error the assembler is poisoned and
+    refuses further input, because a byte stream with a bad frame has no
+    trustworthy resynchronisation point.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward the next incomplete frame."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> list[Message]:
+        """Absorb one chunk and return every frame it completed.
+
+        Raises:
+            ProtocolError: on an oversized length prefix or a malformed
+                frame body, and on any feed after a previous error.
+        """
+        if self._poisoned:
+            raise ProtocolError("assembler poisoned by an earlier framing error")
+        self._buffer.extend(chunk)
+        messages: list[Message] = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return messages
+            (length,) = _LENGTH.unpack(bytes(self._buffer[: _LENGTH.size]))
+            if length > MAX_FRAME_BYTES:
+                self._poisoned = True
+                raise ProtocolError(
+                    f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}"
+                )
+            if len(self._buffer) < _LENGTH.size + length:
+                return messages
+            body = bytes(self._buffer[_LENGTH.size : _LENGTH.size + length])
+            del self._buffer[: _LENGTH.size + length]
+            try:
+                messages.append(decode_payload(body))
+            except ProtocolError:
+                self._poisoned = True
+                raise
+
+    def at_boundary(self) -> bool:
+        """True when no partial frame is buffered (a clean EOF point)."""
+        return not self._buffer
 
 
 async def read_message(reader: asyncio.StreamReader) -> Message | None:

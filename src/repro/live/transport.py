@@ -41,7 +41,16 @@ from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.live.nodes import Outbound
-from repro.live.protocol import Bye, Heartbeat, Update, encode_message, read_message
+from repro.live.protocol import (
+    Bye,
+    Heartbeat,
+    Hello,
+    ProtocolError,
+    Update,
+    check_version,
+    encode_message,
+    read_message,
+)
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
 
@@ -216,6 +225,8 @@ class TcpTransport:
         heartbeat_interval_s: float = 0.5,
         reconnect_backoff_s: float = 0.05,
         reconnect_attempts: int = 5,
+        drain_timeout_s: float = 2.0,
+        wall_stretch_cap: float = 20.0,
     ) -> None:
         if time_scale <= 0:
             raise ConfigurationError(
@@ -224,6 +235,14 @@ class TcpTransport:
         if quiesce_timeout_s <= 0:
             raise ConfigurationError(
                 f"quiesce_timeout_s must be positive, got {quiesce_timeout_s!r}"
+            )
+        if drain_timeout_s <= 0:
+            raise ConfigurationError(
+                f"drain_timeout_s must be positive, got {drain_timeout_s!r}"
+            )
+        if wall_stretch_cap < 1.0:
+            raise ConfigurationError(
+                f"wall_stretch_cap must be >= 1, got {wall_stretch_cap!r}"
             )
         if not 0.0 <= loss_probability < 1.0:
             raise ConfigurationError(
@@ -245,11 +264,14 @@ class TcpTransport:
         self.heartbeat_interval_s = heartbeat_interval_s
         self.reconnect_backoff_s = reconnect_backoff_s
         self.reconnect_attempts = reconnect_attempts
+        self.drain_timeout_s = drain_timeout_s
+        self.wall_stretch_cap = wall_stretch_cap
         # Wall budgets (quiescence wait, handler drain) assume the 60x
         # default pace; a slower time scale stretches in-flight wall
         # times proportionally, so stretch the budgets too (capped, so a
-        # pathological scale cannot hang the run for hours).
-        self._wall_factor = min(20.0, max(1.0, 60.0 / time_scale))
+        # pathological scale cannot hang the run for hours).  Slow CI
+        # boxes can raise the cap or the budgets themselves.
+        self._wall_factor = min(wall_stretch_cap, max(1.0, 60.0 / time_scale))
 
     def run(self, network: "LiveNetwork", duration: float | None = None) -> TransportStats:
         return asyncio.run(self._main(network, duration))
@@ -331,12 +353,25 @@ class TcpTransport:
                 handler_tasks.add(task)
             try:
                 while True:
-                    message = await read_message(reader)
+                    try:
+                        message = await read_message(reader)
+                    except ProtocolError:
+                        # Oversized/garbage/truncated frame: reject this
+                        # connection, not the whole run.  Frames lost
+                        # with it are reconciled as drops at the end.
+                        break
                     if message is None or isinstance(message, Bye):
                         break
+                    if isinstance(message, Hello):
+                        try:
+                            check_version(message)
+                        except ProtocolError:
+                            break  # version-mismatched peer: reject
+                        continue
                     if isinstance(message, Heartbeat):
                         continue  # liveness probe: no data, no accounting
-                    assert isinstance(message, Update)
+                    if not isinstance(message, Update):
+                        break  # fleet-only frame on a live link: reject
                     outs = network.node(node_id).on_message(message, sim_now())
                     dispatch(outs)
                     stats.delivered += 1
@@ -347,6 +382,20 @@ class TcpTransport:
                     await writer.wait_closed()
                 except (ConnectionError, OSError):
                     pass
+
+        generations: dict[int, int] = {}
+
+        def greet(dst: int, writer: asyncio.StreamWriter) -> None:
+            """Open every connection with a version/generation handshake."""
+            generations[dst] = generations.get(dst, 0) + 1
+            writer.write(
+                encode_message(
+                    Hello(
+                        src=network.source_node.node,
+                        generation=generations[dst],
+                    )
+                )
+            )
 
         async def ensure_writer(dst: int) -> asyncio.StreamWriter | None:
             """The destination's connection, reconnecting a severed one
@@ -365,6 +414,7 @@ class TcpTransport:
                     )
                     continue
                 writers[dst] = writer
+                greet(dst, writer)
                 stats.reconnects += 1
                 return writer
             return None
@@ -471,6 +521,7 @@ class TcpTransport:
                     self.host, ports[dst]
                 )
                 writers[dst] = writer
+                greet(dst, writer)
                 send_heaps[dst] = []
                 send_wakeups[dst] = asyncio.Event()
                 sender_tasks.append(
@@ -534,7 +585,7 @@ class TcpTransport:
             # so the drop count below is final, not racing deliveries.
             if handler_tasks:
                 done, pending = await asyncio.wait(
-                    handler_tasks, timeout=2.0 * self._wall_factor
+                    handler_tasks, timeout=self.drain_timeout_s * self._wall_factor
                 )
                 for task in pending:
                     task.cancel()
@@ -556,6 +607,8 @@ def make_transport(
     heartbeat_interval_s: float = 0.5,
     reconnect_backoff_s: float = 0.05,
     reconnect_attempts: int = 5,
+    drain_timeout_s: float = 2.0,
+    wall_stretch_cap: float = 20.0,
 ):
     """Build a transport by registry name (``inprocess`` or ``tcp``).
 
@@ -575,6 +628,8 @@ def make_transport(
             heartbeat_interval_s=heartbeat_interval_s,
             reconnect_backoff_s=reconnect_backoff_s,
             reconnect_attempts=reconnect_attempts,
+            drain_timeout_s=drain_timeout_s,
+            wall_stretch_cap=wall_stretch_cap,
         )
     raise ConfigurationError(
         f"unknown live transport {name!r}; choose from "

@@ -1,0 +1,117 @@
+"""Sample-based anti-entropy: correctness, cost, and protocol discipline."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.fleet.antientropy import (
+    AntiEntropyCost,
+    ChildSession,
+    ParentView,
+    full_transfer_cost,
+    heads_digest,
+    run_resync,
+)
+from repro.live.protocol import ResyncResponse
+
+
+def test_digest_fast_path_costs_one_round_trip():
+    heads = {i: i * 3 for i in range(64)}
+    parent = {i: (seq, float(seq)) for i, seq in heads.items()}
+    missing, cost = run_resync(heads, parent)
+    assert missing == []
+    assert cost.rounds == 1
+    assert cost.frames == 2
+    assert cost.transferred == 0
+    assert cost.checks == 0
+
+
+def test_missed_tail_is_discovered_and_replayed():
+    child = {i: 10 for i in range(32)}
+    parent = {i: (10, 1.0) for i in range(32)}
+    behind = {3, 17, 29}
+    for i in behind:
+        parent[i] = (14, 2.5)
+    missing, cost = run_resync(child, parent)
+    assert {item for item, _seq, _value in missing} == behind
+    assert all(seq == 14 and value == 2.5 for _i, seq, value in missing)
+    assert cost.transferred == len(behind)
+    assert cost.messages < full_transfer_cost(len(parent))
+
+
+def test_stalest_first_resolves_localized_loss_in_one_sample_round():
+    # The behind items carry the *lowest* heads, so a sample_size as
+    # small as the loss finds them in the very first sample round.
+    child = {i: 50 for i in range(100)}
+    behind = {0, 1, 2}
+    for i in behind:
+        child[i] = 7
+    parent = {i: (50, 1.0) for i in range(100)}
+    for i in behind:
+        parent[i] = (50, 9.0)
+    session = ChildSession(0, 0, child, sample_size=4)
+    view = ParentView(parent)
+    session.absorb(view.respond(session.next_request()))  # digest mismatch
+    session.absorb(view.respond(session.next_request()))  # first sample
+    assert {item for item, _s, _v in session.missing} == behind
+
+
+def test_parent_never_owes_what_filtering_pruned():
+    # A child head at or above the parent's *forwarded* head is current,
+    # even if the source published far beyond it.
+    view = ParentView({5: (10, 1.0)})
+    session = ChildSession(0, 0, {5: 10})
+    missing, cost = run_resync({5: 10}, {5: (10, 1.0)})
+    assert missing == []
+    response = view.respond(
+        session.next_request()  # digest probe matches
+    )
+    assert response.complete
+    assert cost.transferred == 0
+
+
+def test_items_unknown_to_the_parent_classify_as_known():
+    missing, _cost = run_resync({1: 4, 2: 0}, {1: (4, 1.0)})
+    assert missing == []
+
+
+def test_sampled_cost_beats_full_transfer_at_scale():
+    n, d = 256, 3
+    child = {i: 100 for i in range(n)}
+    parent = {i: (100, 1.0) for i in range(n)}
+    for i in range(d):
+        child[i] = 90
+        parent[i] = (100, 2.0)
+    _missing, cost = run_resync(child, parent)
+    assert cost.messages < full_transfer_cost(n)
+
+
+def test_unsolicited_response_raises():
+    session = ChildSession(0, 1, {1: 1})
+    with pytest.raises(SimulationError):
+        session.absorb(ResyncResponse(child=0, parent=1, round_no=3))
+
+
+def test_digest_mismatch_with_nothing_to_sample_ends_cleanly():
+    session = ChildSession(0, 1, {})
+    assert session.next_request().round_no == 0
+    session.absorb(
+        ResyncResponse(child=0, parent=1, round_no=0, complete=False)
+    )
+    assert session.done
+    assert session.missing == []
+
+
+def test_sample_size_is_validated():
+    with pytest.raises(SimulationError):
+        ChildSession(0, 1, {1: 1}, sample_size=0)
+
+
+def test_cost_messages_unit_matches_full_transfer_unit():
+    cost = AntiEntropyCost(rounds=2, frames=4, checks=8, transferred=3)
+    assert cost.messages == 7
+    assert full_transfer_cost(0) == 2  # a frame pair even for nothing
+
+
+def test_heads_digest_is_order_independent():
+    assert heads_digest({1: 2, 3: 4}) == heads_digest({3: 4, 1: 2})
+    assert heads_digest({1: 2}) != heads_digest({1: 3})

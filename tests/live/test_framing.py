@@ -1,0 +1,122 @@
+"""Partial-frame reassembly and the hardened v2 protocol surface."""
+
+import struct
+
+import pytest
+
+from repro.live.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Forward,
+    FrameAssembler,
+    Heartbeat,
+    Hello,
+    ProtocolError,
+    ResyncRequest,
+    ResyncResponse,
+    Update,
+    check_version,
+    decode_payload,
+    encode_message,
+)
+
+pytestmark = pytest.mark.live
+
+
+def test_v2_frames_round_trip_exactly():
+    messages = [
+        Hello(src=3, generation=7),
+        Heartbeat(src=1),
+        Forward(
+            dst=9, arrival_s=12.5, item_id=2, value=1.25, tag=None, seq=8, src=4
+        ),
+        ResyncRequest(
+            child=2, parent=1, round_no=3, sample=((0, 5), (7, 2))
+        ),
+        ResyncResponse(
+            child=2,
+            parent=1,
+            round_no=3,
+            known=(0,),
+            missing=((7, 9, 3.75),),
+        ),
+    ]
+    for message in messages:
+        assert decode_payload(encode_message(message)[4:]) == message
+
+
+def test_forward_wraps_and_unwraps_an_update():
+    update = Update(item_id=5, value=2.5, tag=0.1, seq=11, src=6)
+    forward = Forward.from_update(42, 99.5, update)
+    assert forward.dst == 42
+    assert forward.arrival_s == 99.5
+    assert forward.to_update() == update
+
+
+def test_check_version_rejects_a_mismatched_peer():
+    check_version(Hello(src=0))  # current version passes
+    with pytest.raises(ProtocolError):
+        check_version(Hello(src=0, version=PROTOCOL_VERSION + 1))
+
+
+def test_encode_rejects_oversized_bodies():
+    with pytest.raises(ProtocolError):
+        encode_message(
+            ResyncRequest(child=0, parent=0, round_no=0, digest="x" * MAX_FRAME_BYTES)
+        )
+
+
+def test_assembler_reassembles_byte_at_a_time():
+    frames = b"".join(
+        encode_message(Update(item_id=i, value=float(i), tag=None, seq=i, src=0))
+        for i in range(3)
+    )
+    assembler = FrameAssembler()
+    messages = []
+    for i in range(len(frames)):
+        messages.extend(assembler.feed(frames[i : i + 1]))
+    assert [m.item_id for m in messages] == [0, 1, 2]
+    assert assembler.at_boundary()
+    assert assembler.pending_bytes == 0
+
+
+def test_assembler_handles_many_frames_in_one_chunk():
+    chunk = encode_message(Heartbeat(src=1)) + encode_message(Heartbeat(src=2))
+    messages = FrameAssembler().feed(chunk)
+    assert [m.src for m in messages] == [1, 2]
+
+
+def test_assembler_tracks_partial_frames():
+    frame = encode_message(Hello(src=0))
+    assembler = FrameAssembler()
+    assert assembler.feed(frame[:5]) == []
+    assert assembler.pending_bytes == 5
+    assert not assembler.at_boundary()
+    assert assembler.feed(frame[5:]) == [Hello(src=0)]
+    assert assembler.at_boundary()
+
+
+def test_assembler_poisons_on_oversized_prefix():
+    assembler = FrameAssembler()
+    with pytest.raises(ProtocolError):
+        assembler.feed(struct.pack(">I", MAX_FRAME_BYTES + 1))
+    with pytest.raises(ProtocolError):
+        assembler.feed(b"")  # refuses all input after a framing error
+
+
+def test_assembler_poisons_on_garbage_body():
+    garbage = struct.pack(">I", 4) + b"\xff\xfe\xfd\xfc"
+    assembler = FrameAssembler()
+    with pytest.raises(ProtocolError):
+        assembler.feed(garbage)
+    with pytest.raises(ProtocolError):
+        assembler.feed(encode_message(Heartbeat(src=0)))
+
+
+def test_assembler_yields_frames_before_the_bad_one():
+    good = encode_message(Heartbeat(src=9))
+    bad = struct.pack(">I", 3) + b"{{{"
+    assembler = FrameAssembler()
+    assert assembler.feed(good) == [Heartbeat(src=9)]
+    with pytest.raises(ProtocolError):
+        assembler.feed(bad)

@@ -137,4 +137,31 @@ def test_tcp_transport_validates_parameters():
     with pytest.raises(ConfigurationError):
         TcpTransport(quiesce_timeout_s=0.0)
     with pytest.raises(ConfigurationError):
+        TcpTransport(drain_timeout_s=0.0)
+    with pytest.raises(ConfigurationError):
+        TcpTransport(wall_stretch_cap=0.5)
+    with pytest.raises(ConfigurationError):
         make_transport("udp")
+
+
+def test_tcp_wall_budgets_are_configurable():
+    """Satellite pin: the drain/quiesce wall budgets are knobs now.
+
+    The stretch cap used to be hard-coded at 20; a raised or lowered cap
+    must reshape ``_wall_factor``, and the per-connection drain budget
+    must thread through ``run_live`` untouched.
+    """
+    assert TcpTransport(time_scale=1.0, wall_stretch_cap=5.0)._wall_factor == 5.0
+    assert TcpTransport(time_scale=1.0, wall_stretch_cap=90.0)._wall_factor == 60.0
+    assert TcpTransport(drain_timeout_s=7.5).drain_timeout_s == 7.5
+
+    result = run_live(
+        CONFIG,
+        "tcp",
+        duration=20.0,
+        time_scale=800.0,
+        drain_timeout_s=1.0,
+        wall_stretch_cap=4.0,
+    )
+    assert result.conserved
+    assert result.delivered == result.sent
