@@ -1,0 +1,118 @@
+"""Benchmark: observability overhead pins.
+
+Two guarantees live here:
+
+1. **Disabled hooks are free.** With no observer attached the only cost
+   the trace layer adds to the hot loop is an ``is not None`` branch per
+   hook site.  The pin measures that branch cost directly (a tight
+   microbenchmark) and multiplies it by the number of hook sites the run
+   actually executes (derivable exactly from ``CostCounters``), then
+   asserts the estimate stays under 2% of the untraced wall time on the
+   Table 1-calibrated default workload.
+2. **Enabled tracing is bounded.** Attaching a ``TraceRecorder`` -- which
+   materialises a span per source/check/forward/drop/deliver decision
+   plus edge-latency histograms -- must stay within a small constant
+   factor of the untraced run, and the traced result must remain
+   bit-identical.
+
+CI uploads the pytest-benchmark JSON (with the measured ratios in
+``extra_info``) as a build artifact, so overhead drift is visible in
+history before it ever trips the assertion.
+"""
+
+import time
+
+from benchmarks.conftest import BENCH_OVERRIDES
+from repro.engine.config import SCALE_PRESETS
+from repro.engine.simulation import run_simulation
+from repro.obs.trace import TraceRecorder
+
+#: Table 1-calibrated default workload at benchmark scale: loaded
+#: enough (12 items, 25 ms computation, 500 samples) that the per-check
+#: hot loop dominates the measurement.
+OBS_CONFIG = SCALE_PRESETS["tiny"].with_(**BENCH_OVERRIDES)
+
+
+def _hook_sites(counters) -> int:
+    """How many observer guards the run evaluated, exactly.
+
+    One per policy check (source + repository side), one per charged
+    forward, one per drop and one per delivery; the source/deliver
+    guards are a strict subset of these counts, so this overestimates
+    slightly -- which only makes the <2% pin harder to pass.
+    """
+    return (
+        counters.source_checks
+        + counters.repository_checks
+        + counters.messages
+        + counters.drops
+        + counters.deliveries
+    )
+
+
+def bench_obs_disabled_hook_overhead(benchmark):
+    """Estimated cost of the dormant hooks: < 2% of untraced runtime."""
+    start = time.perf_counter()
+    result = benchmark.pedantic(
+        lambda: run_simulation(OBS_CONFIG), rounds=1, iterations=1
+    )
+    untraced_s = time.perf_counter() - start
+
+    # Per-branch cost of `if observer is not None`, measured in a tight
+    # loop (min over batches to shed scheduler noise).
+    observer = None
+    n = 100_000
+    per_branch_s = min(
+        _time_guard_loop(observer, n) / n for _ in range(5)
+    )
+
+    sites = _hook_sites(result.counters)
+    overhead_s = sites * per_branch_s
+    overhead_pct = 100.0 * overhead_s / untraced_s
+
+    benchmark.extra_info["hook_sites"] = sites
+    benchmark.extra_info["per_branch_ns"] = round(per_branch_s * 1e9, 3)
+    benchmark.extra_info["untraced_s"] = round(untraced_s, 3)
+    benchmark.extra_info["disabled_overhead_pct"] = round(overhead_pct, 4)
+    assert overhead_pct < 2.0, (
+        f"dormant observer hooks cost {overhead_pct:.3f}% of the untraced "
+        f"run ({sites} sites x {per_branch_s * 1e9:.1f} ns)"
+    )
+
+
+def _time_guard_loop(observer, n: int) -> float:
+    start = time.perf_counter()
+    hits = 0
+    for _ in range(n):
+        if observer is not None:
+            hits += 1
+    elapsed = time.perf_counter() - start
+    assert hits == 0
+    return elapsed
+
+
+def bench_obs_enabled_tracing_overhead(benchmark):
+    """Recording every span stays within 4x -- and stays bit-identical."""
+    start = time.perf_counter()
+    untraced = run_simulation(OBS_CONFIG)
+    untraced_s = time.perf_counter() - start
+
+    recorder = TraceRecorder(policy=OBS_CONFIG.policy)
+    start = time.perf_counter()
+    traced = benchmark.pedantic(
+        lambda: run_simulation(OBS_CONFIG, observer=recorder),
+        rounds=1,
+        iterations=1,
+    )
+    traced_s = time.perf_counter() - start
+
+    assert traced == untraced  # recording must never perturb the result
+    ratio = traced_s / untraced_s
+    benchmark.extra_info["untraced_s"] = round(untraced_s, 3)
+    benchmark.extra_info["traced_s"] = round(traced_s, 3)
+    benchmark.extra_info["traced_over_untraced"] = round(ratio, 2)
+    benchmark.extra_info["spans"] = len(recorder)
+    assert ratio < 4.0, (
+        f"enabled tracing is {ratio:.2f}x the untraced run "
+        f"({traced_s:.2f}s vs {untraced_s:.2f}s for {len(recorder)} spans)"
+    )

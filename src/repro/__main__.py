@@ -32,6 +32,14 @@ off the ``fleet`` subcommand::
     python -m repro fleet run --workers 4 --preset tiny --time-scale 600
     python -m repro fleet run --workers 2 --crosscheck --duration 60
     python -m repro fleet loadgen --workers 4 --jobs 1000 --preset tiny
+
+The observability layer (per-update trace spans, the metrics registry
+and the fidelity-violation explainer) hangs off the ``obs``
+subcommand::
+
+    python -m repro obs trace --preset tiny --update 12
+    python -m repro obs metrics --failures 2,1 --json metrics.json
+    python -m repro obs explain --failures 2,1
 """
 
 from __future__ import annotations
@@ -51,6 +59,7 @@ from repro.engine.churn import parse_churn_spec
 from repro.engine.failures import failures_for_config, parse_failure_spec
 from repro.errors import ConfigurationError
 from repro.experiments.runner import preset_config
+from repro.obs.logsetup import LOG_LEVELS, get_logger, setup_cli_logging
 from repro.workloads import available_workloads, parse_workload_spec
 
 __all__ = ["main"]
@@ -185,6 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
         "the scalability preset attaches 1000)",
     )
     parser.add_argument("--seed", type=int, default=None, help="master seed")
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default=None,
+        help="verbosity of the repro.* loggers (default: info, which "
+        "keeps the output identical to earlier print-based releases)",
+    )
 
     subcommands = parser.add_subparsers(
         dest="command", metavar="COMMAND",
@@ -488,6 +502,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of synthetic clients, sharded across the workers "
         "(default: 64)",
     )
+
+    obs = subcommands.add_parser(
+        "obs",
+        help="observability: trace | metrics | explain",
+        description=(
+            "Run one traced simulation and inspect it: per-update trace "
+            "spans, the metrics-registry snapshot, or the causal "
+            "explanation of every fidelity-loss segment.  Tracing is "
+            "attached out-of-band, so the traced run is bit-identical "
+            "to the untraced one."
+        ),
+    )
+    obs_actions = obs.add_subparsers(
+        dest="obs_command", metavar="ACTION", required=True
+    )
+
+    def _obs_common(sub: argparse.ArgumentParser) -> None:
+        # Same dest-isolation rule as the other subcommands.
+        sub.add_argument(
+            "--preset", dest="obs_preset", default="tiny",
+            choices=sorted(SCALE_PRESETS), help="scale preset (default: tiny)",
+        )
+        sub.add_argument(
+            "--policy", dest="obs_policy", default="distributed",
+            choices=available_policies(),
+            help="dissemination policy (default: distributed)",
+        )
+        sub.add_argument(
+            "--t", dest="obs_t", type=float, default=80.0, metavar="PERCENT",
+            help="share of stringent coherency tolerances (default: 80)",
+        )
+        sub.add_argument(
+            "--seed", dest="obs_seed", type=int, default=None,
+            help="master seed (default: preset seed)",
+        )
+        sub.add_argument(
+            "--kernel", dest="obs_kernel", default=None,
+            choices=sorted(KERNELS),
+            help="engine kernel; traced spans are identical either way "
+            "(default: auto)",
+        )
+        sub.add_argument(
+            "--failures", dest="obs_failures", type=_failure_counts,
+            default=None, metavar="C,P",
+            help="inject C repository crash/recover pairs and P link "
+            "down/up windows (the seeded schedule; drops show up as "
+            "crash/partition spans)",
+        )
+        sub.add_argument(
+            "--loss", dest="obs_loss", type=float, default=None, metavar="P",
+            help="seeded Bernoulli message-loss probability in [0, 1) "
+            "(default: the config's, normally 0)",
+        )
+        sub.add_argument(
+            "--json", dest="obs_json", default=None, metavar="PATH",
+            help="also write the full span stream / metrics snapshot as "
+            "a JSON artifact",
+        )
+
+    obs_trace = obs_actions.add_parser(
+        "trace", help="hop-by-hop span records of one traced run"
+    )
+    _obs_common(obs_trace)
+    obs_trace.add_argument(
+        "--update", dest="obs_update", type=int, default=None, metavar="ID",
+        help="show only this update's spans (default: all, capped by "
+        "--limit)",
+    )
+    obs_trace.add_argument(
+        "--limit", dest="obs_limit", type=int, default=40, metavar="N",
+        help="span lines printed (default: 40; 0 = unlimited)",
+    )
+
+    obs_metrics = obs_actions.add_parser(
+        "metrics", help="metrics-registry snapshot of one traced run"
+    )
+    _obs_common(obs_metrics)
+
+    obs_explain = obs_actions.add_parser(
+        "explain",
+        help="name the hop and reason behind every fidelity-loss segment",
+    )
+    _obs_common(obs_explain)
     return parser
 
 
@@ -576,7 +673,7 @@ def _experiments_run(args) -> None:
         artifacts_dir=artifacts_dir,
         params_by_name=_parse_params(args.param, names),
         overrides=overrides,
-        progress=print,
+        progress=get_logger("repro.experiments").info,
     )
     for name in names:
         print(f"\n{report.texts[name]}")
@@ -765,9 +862,165 @@ def _fleet_loadgen(args) -> None:
           f"{result.extras.get('client_messages', 0)}")
 
 
+def _obs_config(args):
+    overrides: dict = {"t_percent": args.obs_t, "policy": args.obs_policy}
+    if args.obs_seed is not None:
+        overrides["seed"] = args.obs_seed
+    if args.obs_kernel is not None:
+        overrides["kernel"] = args.obs_kernel
+    if args.obs_loss is not None:
+        overrides["message_loss_probability"] = args.obs_loss
+    config = preset_config(args.obs_preset, **overrides)
+    if args.obs_failures is not None:
+        crashes, partitions = args.obs_failures
+        config = config.with_(
+            failures=failures_for_config(
+                config, crashes=crashes, partitions=partitions
+            )
+        )
+    return config
+
+
+def _obs_run(args):
+    """One traced run: the recorder rides out-of-band next to the config."""
+    from repro.obs import TraceRecorder
+
+    config = _obs_config(args)
+    recorder = TraceRecorder(policy=config.policy)
+    result = run_simulation(config, observer=recorder)
+    return config, recorder, result
+
+
+def _format_span(ev) -> str:
+    hop = f"{ev.node}->{ev.dst}" if ev.dst is not None else f"{ev.node}"
+    if ev.kind in ("check", "source"):
+        verdict = "ok" if ev.forwarded else f"[{ev.reason}]"
+        return (f"  t={ev.time:9.3f}s update={ev.update_id:<4d} "
+                f"item={ev.item_id} {ev.kind:<8s} {hop:<9s} {verdict}")
+    if ev.kind == "drop":
+        return (f"  t={ev.time:9.3f}s update={ev.update_id:<4d} "
+                f"item={ev.item_id} {ev.kind:<8s} {hop:<9s} [{ev.reason}]")
+    return (f"  t={ev.time:9.3f}s update={ev.update_id:<4d} "
+            f"item={ev.item_id} {ev.kind:<8s} {hop}")
+
+
+def _obs_trace(args) -> None:
+    config, recorder, result = _obs_run(args)
+    totals = recorder.totals()
+    print(f"preset={args.obs_preset} policy={args.obs_policy} "
+          f"workload={config.workload.describe()}")
+    print(f"updates traced        : {len(recorder.by_update())}")
+    print(f"spans recorded        : {len(recorder)}")
+    print(f"span economy          : {totals.messages} forwards, "
+          f"{totals.deliveries} deliveries, {totals.drops} drops "
+          f"(counters agree: "
+          f"{totals.messages == result.counters.messages and totals.deliveries == result.counters.deliveries and totals.drops == result.counters.drops})")
+    events = (
+        recorder.spans(args.obs_update)
+        if args.obs_update is not None
+        else recorder.events
+    )
+    shown = events if args.obs_limit == 0 else events[: args.obs_limit]
+    for ev in shown:
+        print(_format_span(ev))
+    if len(shown) < len(events):
+        print(f"  ... {len(events) - len(shown)} more spans "
+              f"(raise --limit or use --json)")
+    if args.obs_json:
+        print(f"[trace: {recorder.write_json(args.obs_json)}]")
+
+
+def _obs_metrics(args) -> None:
+    import json as _json
+
+    config, recorder, result = _obs_run(args)
+    del config, result
+    snapshot = recorder.metrics.snapshot()
+    if args.obs_json:
+        print(f"[metrics: {recorder.metrics.write_json(args.obs_json)}]")
+    else:
+        print(_json.dumps(snapshot, indent=2))
+
+
+def _obs_explain(args) -> None:
+    from repro.obs import explain_loss_segments, format_explanation
+
+    config, recorder, result = _obs_run(args)
+    del config
+    per_pair = result.extras.get("per_pair_loss", {})
+    segments = {pair: loss for pair, loss in per_pair.items() if loss > 0.0}
+    print(f"loss of fidelity      : {result.loss_of_fidelity:.3f} %")
+    print(f"loss segments         : {len(segments)} of {len(per_pair)} "
+          f"(repository, item) pairs")
+    if not segments:
+        print("nothing to explain: every pair saw full fidelity")
+        return
+    explanations = explain_loss_segments(recorder, per_pair)
+    for (repo, item_id), pair_explanations in explanations.items():
+        print(f"repo {repo} item {item_id}: loss "
+              f"{per_pair[(repo, item_id)]:.3f} %")
+        # One line per distinct terminal cause, heaviest first.
+        groups: dict[tuple, int] = {}
+        for e in pair_explanations:
+            key = (e.verdict, e.node, e.dst, e.reason)
+            groups[key] = groups.get(key, 0) + 1
+        for (verdict, node, dst, reason), count in sorted(
+            groups.items(), key=lambda kv: (-kv[1], str(kv[0]))
+        ):
+            if verdict == "dropped":
+                cause = f"dropped on hop {node}->{dst} [{reason}]"
+            elif verdict == "filtered":
+                cause = f"filtered on hop {node}->{dst} [{reason}]"
+            elif verdict == "suppressed":
+                cause = f"suppressed at source {node} [{reason}]"
+            else:
+                cause = f"{verdict} [{reason}]"
+            print(f"  {count:>4} update{'s' if count != 1 else ''} {cause}")
+    if args.obs_json:
+        import json as _json
+        from pathlib import Path
+
+        path = Path(args.obs_json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            _json.dumps(
+                [
+                    {
+                        "repository": e.repository,
+                        "item_id": e.item_id,
+                        "update_id": e.update_id,
+                        "verdict": e.verdict,
+                        "node": e.node,
+                        "dst": e.dst,
+                        "reason": e.reason,
+                        "time": e.time,
+                        "path": list(e.path),
+                    }
+                    for pair_explanations in explanations.values()
+                    for e in pair_explanations
+                ],
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"[explanations: {path}]")
+
+
 def main(argv: list[str] | None = None) -> None:
     args = build_parser().parse_args(argv)
+    setup_cli_logging(getattr(args, "log_level", None))
 
+    if getattr(args, "command", None) == "obs":
+        handlers = {
+            "trace": _obs_trace,
+            "metrics": _obs_metrics,
+            "explain": _obs_explain,
+        }
+        try:
+            handlers[args.obs_command](args)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
+        return
     if getattr(args, "command", None) == "fleet":
         try:
             if args.fleet_command == "run":

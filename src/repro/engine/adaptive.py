@@ -194,6 +194,9 @@ class AdaptiveController:
         self.ticks = 0
         self.triggered = 0
         self.rewires = 0
+        #: Per-node drift values from the most recent tick -- telemetry
+        #: only; nothing in the control loop reads it back.
+        self.last_drifts: dict[int, float] = {}
 
     def tick_times(self, span: float) -> list[float]:
         """Tick instants inside the observation window: ``w, 2w, ...``.
@@ -225,6 +228,7 @@ class AdaptiveController:
         policy = self.policy
         self.ticks += 1
         drifts = self._estimator.observe(per_node_messages)
+        self.last_drifts = drifts
         hot = [node for node in sorted(drifts) if drifts[node] >= policy.threshold]
         if not hot:
             return None

@@ -79,9 +79,21 @@ _Segment = list
 class DisseminationSimulation:
     """Drives one dissemination policy over one built setup."""
 
-    def __init__(self, setup: SimulationSetup, policy: DisseminationPolicy | None = None):
+    def __init__(
+        self,
+        setup: SimulationSetup,
+        policy: DisseminationPolicy | None = None,
+        observer=None,
+    ):
         self.setup = setup
         self.policy = policy if policy is not None else make_policy(setup.config.policy)
+        # Out-of-band observability hook (repro.obs.trace.TraceRecorder
+        # or compatible).  Never part of the config -- result-cache keys
+        # and fingerprints are unaffected -- and consulted only behind
+        # `is not None` guards, so an unobserved run does no extra work
+        # and an observed run is bit-identical (the observer records
+        # decisions; it never makes them).
+        self.observer = observer
         self.kernel = Simulator()
         self.counters = CostCounters()
         self._comp_delay_s = setup.config.comp_delay_ms / 1000.0
@@ -195,28 +207,50 @@ class DisseminationSimulation:
 
     # ------------------------------------------------------------------
 
-    def _on_source_update(self, item_id: int, value: float) -> None:
+    def _on_source_update(
+        self, item_id: int, value: float, update_id: int = -1
+    ) -> None:
         self._source_value[item_id] = value
         root = self._root_of[item_id]
         decision = self.policy.at_source(item_id, value)
         if decision.checks:
             self.counters.record_check(root, is_source=True, count=decision.checks)
+        if self.observer is not None:
+            self.observer.on_source(
+                update_id, item_id, self.kernel.now, root,
+                decision.checks, decision.disseminate,
+            )
         if not decision.disseminate:
             return
-        self._process_at_node(root, item_id, value, decision.tag)
+        self._process_at_node(root, item_id, value, decision.tag, update_id)
 
-    def _on_delivery(self, node: int, item_id: int, value: float, tag) -> None:
+    def _on_delivery(
+        self,
+        node: int,
+        item_id: int,
+        value: float,
+        tag,
+        update_id: int = -1,
+        src: int = -1,
+    ) -> None:
         if node in self._departed or node in self._crashed:
             # The sender paid for the message, but the repository left
             # (or crashed) while it was in flight: a drop.
             self.counters.record_drop()
+            if self.observer is not None:
+                reason = "departed" if node in self._departed else "crash"
+                self.observer.on_drop(
+                    update_id, item_id, self.kernel.now, src, node, reason
+                )
             return
         self.counters.record_delivery()
+        if self.observer is not None:
+            self.observer.on_deliver(update_id, item_id, self.kernel.now, node)
         log = self._deliveries.get((node, item_id))
         if log is not None:
             log.append((self.kernel.now, value))
         self._serve_clients(node, item_id, value)
-        self._process_at_node(node, item_id, value, tag)
+        self._process_at_node(node, item_id, value, tag, update_id)
 
     def _serve_clients(self, node: int, item_id: int, value: float) -> None:
         """Filter one fresh copy to the repository's modeled clients.
@@ -244,7 +278,9 @@ class DisseminationSimulation:
                 sent += 1
         self.counters.record_client_serving(checks=len(tols), messages=sent)
 
-    def _process_at_node(self, node: int, item_id: int, value: float, tag) -> None:
+    def _process_at_node(
+        self, node: int, item_id: int, value: float, tag, update_id: int = -1
+    ) -> None:
         children = self._children.get((node, item_id))
         if not children:
             return
@@ -252,22 +288,32 @@ class DisseminationSimulation:
         is_source = node == self._root_of[item_id]
         parent_receive_c = 0.0 if is_source else self._receive_c[(node, item_id)]
         station = self._stations[node]
+        observer = self.observer
         for child, _c_serve in children:
             decision = self.policy.decide(
                 node, child, item_id, value, parent_receive_c, tag
             )
             self.counters.record_check(node, is_source=is_source, count=decision.checks)
+            if observer is not None:
+                observer.on_check(
+                    update_id, item_id, now, node, child,
+                    decision.checks, decision.forward, is_source,
+                )
             if not decision.forward:
                 continue
             departure = station.submit(now, self._comp_delay_s)
             arrival = departure + self.setup.network.delay_s(node, child)
             self.counters.record_message(node, is_source=is_source)
+            if observer is not None:
+                observer.on_forward(update_id, item_id, now, node, child, arrival - now)
             if self._down_links and (node, child) in self._down_links:
                 # Partition: the sender paid (queueing included) but the
                 # link ate the message.  Decided before the Bernoulli
                 # loss draw, so the loss stream is only consumed for
                 # messages that actually enter the network.
                 self.counters.record_drop()
+                if observer is not None:
+                    observer.on_drop(update_id, item_id, now, node, child, "partition")
                 continue
             if (
                 self._loss_rng is not None
@@ -277,8 +323,12 @@ class DisseminationSimulation:
                 # the network ate it; the child stays stale until the
                 # next update for it is forwarded.
                 self.counters.record_drop()
+                if observer is not None:
+                    observer.on_drop(update_id, item_id, now, node, child, "loss")
                 continue
-            self.kernel.schedule_at(arrival, self._on_delivery, child, item_id, value, tag)
+            self.kernel.schedule_at(
+                arrival, self._on_delivery, child, item_id, value, tag, update_id, node
+            )
 
     # ------------------------------------------------------------------
     # Churn execution
@@ -405,6 +455,20 @@ class DisseminationSimulation:
         decisions from identical counter snapshots.
         """
         diff = self._adaptive_controller.on_tick(now, self._message_counts())
+        observer = self.observer
+        if observer is not None and getattr(observer, "metrics", None) is not None:
+            metrics = observer.metrics
+            metrics.counter("adaptive.ticks").inc()
+            drifts = self._adaptive_controller.last_drifts
+            if drifts:
+                metrics.gauge("adaptive.max_drift").set(max(drifts.values()))
+                hist = metrics.histogram(
+                    "adaptive.drift", bounds=(0.1, 0.25, 0.5, 1.0, 2.0, 5.0)
+                )
+                for value in drifts.values():
+                    hist.observe(value)
+            if diff is not None:
+                metrics.counter("adaptive.rewires").inc()
         if diff is not None:
             self._apply_diff(diff, now)
 
@@ -571,12 +635,17 @@ class DisseminationSimulation:
         # time-sorted timeline enqueues the same (time, relative-order)
         # set the per-trace loop always produced, so heap pop order --
         # and with it every result bit -- is unchanged.
-        for t, item_id, v in zip(
-            schedule.times.tolist(),
-            schedule.item_ids.tolist(),
-            schedule.values.tolist(),
+        # The enumerate index is the update's stable trace id: the same
+        # numbering the vectorized drain loop and the live layer's
+        # source sequence (seq - 1) reproduce.
+        for update_id, (t, item_id, v) in enumerate(
+            zip(
+                schedule.times.tolist(),
+                schedule.item_ids.tolist(),
+                schedule.values.tolist(),
+            )
         ):
-            self.kernel.schedule_at(t, self._on_source_update, item_id, v)
+            self.kernel.schedule_at(t, self._on_source_update, item_id, v, update_id)
         self.kernel.run()
         return self._score(schedule.span)
 
@@ -652,7 +721,9 @@ class DisseminationSimulation:
 
 
 def make_simulation(
-    setup: SimulationSetup, policy: DisseminationPolicy | None = None
+    setup: SimulationSetup,
+    policy: DisseminationPolicy | None = None,
+    observer=None,
 ) -> DisseminationSimulation:
     """Instantiate the engine the setup's config asks for.
 
@@ -661,6 +732,10 @@ def make_simulation(
     the four push policies -- and the scalar oracle otherwise.  The two
     are bit-identical wherever both apply (pinned by the golden suite),
     so the choice is purely a wall-clock matter.
+
+    ``observer`` (e.g. a :class:`repro.obs.trace.TraceRecorder`) is
+    attached out-of-band; it records trace spans without perturbing the
+    run.
 
     Raises:
         ConfigurationError: when ``kernel="vectorized"`` is forced for a
@@ -676,7 +751,7 @@ def make_simulation(
     policy_name = policy.name if policy is not None else config.policy
     supported = config.churn is None and policy_name in FILTERED_POLICIES
     if kernel == "scalar":
-        return DisseminationSimulation(setup, policy)
+        return DisseminationSimulation(setup, policy, observer=observer)
     if kernel == "vectorized":
         if not supported:
             raise ConfigurationError(
@@ -685,11 +760,11 @@ def make_simulation(
                 "supported: no churn and a policy in "
                 f"{list(FILTERED_POLICIES)}"
             )
-        return VectorizedSimulation(setup, policy)
+        return VectorizedSimulation(setup, policy, observer=observer)
     return (
-        VectorizedSimulation(setup, policy)
+        VectorizedSimulation(setup, policy, observer=observer)
         if supported
-        else DisseminationSimulation(setup, policy)
+        else DisseminationSimulation(setup, policy, observer=observer)
     )
 
 
@@ -697,6 +772,7 @@ def run_simulation(
     config: SimulationConfig,
     setup: SimulationSetup | None = None,
     base: SimulationSetup | None = None,
+    observer=None,
 ) -> SimulationResult:
     """Build (or reuse) a setup and run one simulation end to end.
 
@@ -707,7 +783,10 @@ def run_simulation(
         base: Optional setup from an earlier config in a sweep; pieces
             unaffected by the config delta (network, traces, interests)
             are recycled from it.
+        observer: Optional out-of-band trace observer (see
+            :mod:`repro.obs.trace`); attaching one never changes the
+            result.
     """
     if setup is None:
         setup = build_setup(config, base=base)
-    return make_simulation(setup).run()
+    return make_simulation(setup, observer=observer).run()

@@ -98,9 +98,12 @@ class VectorizedSimulation(DisseminationSimulation):
     """Array-backed engine, bit-identical to the scalar oracle."""
 
     def __init__(
-        self, setup: SimulationSetup, policy: DisseminationPolicy | None = None
+        self,
+        setup: SimulationSetup,
+        policy: DisseminationPolicy | None = None,
+        observer=None,
     ):
-        super().__init__(setup, policy)
+        super().__init__(setup, policy, observer=observer)
         if self._churn is not None:
             raise ConfigurationError(
                 "VectorizedSimulation does not support churn schedules; "
@@ -136,6 +139,7 @@ class VectorizedSimulation(DisseminationSimulation):
 
         n = len(gid_of)
         self._g_node: list[int] = [0] * n
+        self._g_item: list[int] = [0] * n
         self._g_issrc: list[bool] = [False] * n
         self._g_prc: list[float] = [0.0] * n
         self._g_child_gid: list[np.ndarray] = [None] * n  # type: ignore[list-item]
@@ -176,6 +180,7 @@ class VectorizedSimulation(DisseminationSimulation):
             else:
                 child_gids, cs, delays, last = empty_i, empty_f, empty_f, empty_f
             self._g_node[gid] = node
+            self._g_item[gid] = item_id
             self._g_issrc[gid] = node == self._root_of[item_id]
             self._g_prc[gid] = (
                 0.0 if self._g_issrc[gid] else self._receive_c[key]
@@ -221,12 +226,16 @@ class VectorizedSimulation(DisseminationSimulation):
 
     # ------------------------------------------------------------------
 
-    def _process_group(self, gid: int, t: float, value: float, tag) -> None:
+    def _process_group(
+        self, gid: int, t: float, value: float, tag, update_id: int = -1
+    ) -> None:
         """Decide, queue and dispatch one update against one edge group.
 
         The vectorized mirror of the scalar ``_process_at_node`` child
         loop: one decision call over all dependents, one ``cumsum`` for
         the FIFO departures, one batched loss draw, then tuple pushes.
+        Span emission is batched too -- one observer call per decision
+        stage, never per child.
         """
         cs = self._g_cs[gid]
         n_children = cs.size
@@ -246,6 +255,14 @@ class VectorizedSimulation(DisseminationSimulation):
         is_source = self._g_issrc[gid]
         counters = self._acounters
         counters.record_checks(node, is_source, n_children)
+        observer = self.observer
+        if observer is not None:
+            node_of = self._g_node
+            observer.on_check_batch(
+                update_id, self._g_item[gid], t, node,
+                [node_of[g] for g in self._g_child_gid[gid].tolist()],
+                mask.tolist(), is_source,
+            )
         n_forward = int(np.count_nonzero(mask))
         if not n_forward:
             return
@@ -266,6 +283,12 @@ class VectorizedSimulation(DisseminationSimulation):
 
         arrivals = departures + self._g_delay[gid][mask]
         targets = self._g_child_gid[gid][mask]
+        if observer is not None:
+            observer.on_forward_batch(
+                update_id, self._g_item[gid], t, node,
+                [node_of[g] for g in targets.tolist()],
+                (arrivals - t).tolist(),
+            )
         if self._down_links:
             # Partition filter before the loss draw: the Bernoulli
             # stream is only consumed for messages that actually enter
@@ -280,6 +303,12 @@ class VectorizedSimulation(DisseminationSimulation):
             n_link_dropped = targets.size - int(np.count_nonzero(kept_link))
             if n_link_dropped:
                 counters.drops += n_link_dropped
+                if observer is not None:
+                    observer.on_drop_batch(
+                        update_id, self._g_item[gid], t, node,
+                        [node_of[g] for g in targets[~kept_link].tolist()],
+                        "partition",
+                    )
                 arrivals = arrivals[kept_link]
                 targets = targets[kept_link]
         if self._loss_rng is not None and targets.size:
@@ -289,11 +318,17 @@ class VectorizedSimulation(DisseminationSimulation):
             dropped = int(targets.size) - int(np.count_nonzero(kept))
             if dropped:
                 counters.drops += dropped
+                if observer is not None:
+                    observer.on_drop_batch(
+                        update_id, self._g_item[gid], t, node,
+                        [self._g_node[g] for g in targets[~kept].tolist()],
+                        "loss",
+                    )
                 arrivals = arrivals[kept]
                 targets = targets[kept]
         push = self._batch_kernel.push
         for arrival, target in zip(arrivals.tolist(), targets.tolist()):
-            push(arrival, target, value, tag)
+            push(arrival, target, value, tag, update_id, node)
 
     def run(self) -> SimulationResult:
         """Drain the merged source/delivery timeline, then score."""
@@ -306,6 +341,7 @@ class VectorizedSimulation(DisseminationSimulation):
         centralized = self._policy_kind == _CENTRALIZED
         root_gid = self._root_gid
         counters = self._acounters
+        observer = self.observer
         track = self._failures is not None or self._adaptive is not None
         fail_events = list(self._failures.events) if self._failures is not None else []
         fi, nf = 0, len(fail_events)
@@ -334,7 +370,8 @@ class VectorizedSimulation(DisseminationSimulation):
                     self._on_adaptive_tick(tick_times[ti])
                     ti += 1
             if type(unit) is int:
-                # A fresh source update (static schedule index).
+                # A fresh source update; the static schedule index is
+                # the update's stable trace id.
                 item_id = source_items[unit]
                 value = source_values[unit]
                 if track:
@@ -347,23 +384,47 @@ class VectorizedSimulation(DisseminationSimulation):
                         counters.record_checks(
                             self._root_of[item_id], True, decision.checks
                         )
+                    if observer is not None:
+                        observer.on_source(
+                            unit, item_id, source_times[unit],
+                            self._root_of[item_id],
+                            decision.checks, decision.disseminate,
+                        )
                     if not decision.disseminate:
                         continue
                     tag = decision.tag
                 else:
+                    # The push policies' at_source is a free pass-through
+                    # (no checks, always disseminate) -- mirror the
+                    # scalar engine's span for it.
+                    if observer is not None:
+                        observer.on_source(
+                            unit, item_id, source_times[unit],
+                            self._root_of[item_id], 0, True,
+                        )
                     tag = None
                 gid = root_gid[item_id]
                 if gid >= 0:
-                    self._process_group(gid, source_times[unit], value, tag)
+                    self._process_group(gid, source_times[unit], value, tag, unit)
             else:
-                # A delivery tuple: (time, seq, gid, value, tag).
-                t, _seq, gid, value, tag = unit
+                # A delivery tuple: (time, seq, gid, value, tag,
+                # update_id, sender node).
+                t, _seq, gid, value, tag, update_id, src = unit
                 if self._crashed and self._g_node[gid] in self._crashed:
                     # The sender paid for the message, but the repository
                     # crashed while it was in flight: a drop.
                     counters.drops += 1
+                    if observer is not None:
+                        observer.on_drop(
+                            update_id, self._g_item[gid], t,
+                            src, self._g_node[gid], "crash",
+                        )
                     continue
                 counters.deliveries += 1
+                if observer is not None:
+                    observer.on_deliver(
+                        update_id, self._g_item[gid], t, self._g_node[gid]
+                    )
                 log = self._g_log[gid]
                 if log is not None:
                     log.append((t, value))
@@ -378,7 +439,7 @@ class VectorizedSimulation(DisseminationSimulation):
                         clast[mask] = value
                     counters.client_checks += int(tols.size)
                     counters.client_messages += served
-                self._process_group(gid, t, value, tag)
+                self._process_group(gid, t, value, tag, update_id)
         while fi < nf:
             # Events past the last unit still close/open scoring
             # segments; the scalar kernel runs them too.
@@ -437,6 +498,7 @@ class VectorizedSimulation(DisseminationSimulation):
         self._gid_of[key] = gid
         issrc = node == self._root_of[item_id]
         self._g_node.append(node)
+        self._g_item.append(item_id)
         self._g_issrc.append(issrc)
         self._g_prc.append(0.0 if issrc else self._receive_c.get(key, 0.0))
         self._g_child_gid.append(np.empty(0, dtype=np.int64))

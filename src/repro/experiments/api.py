@@ -47,6 +47,7 @@ from repro.engine.sweep import resolve_jobs, run_sweep
 from repro.errors import ConfigurationError
 from repro.experiments.cache import ResultCache, fingerprint
 from repro.experiments.runner import preset_config
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
@@ -528,13 +529,19 @@ def run_experiments(
     start = time.perf_counter()
     results = execute_plan(union, jobs=jobs, cache=cache, stats=report.stats)
     report.sweep_seconds = time.perf_counter() - start
+    cache_clause = ""
+    if cache is not None:
+        cache_clause = (
+            f" [cache: {cache.stats.hits} hits, {cache.stats.misses} misses, "
+            f"{cache.stats.writes} writes]"
+        )
     say(
         f"execution plane: {report.stats.planned} planned points, "
         f"{report.stats.distinct} distinct "
         f"({report.stats.deduplicated} deduplicated), "
         f"{report.stats.cache_hits} cached, "
         f"{report.stats.simulated} simulated "
-        f"in {report.sweep_seconds:.1f}s"
+        f"in {report.sweep_seconds:.1f}s{cache_clause}"
     )
 
     by_config: dict[SimulationConfig, SimulationResult] = dict(
@@ -553,6 +560,20 @@ def run_experiments(
             report.artifacts[spec.name] = write_artifact(
                 artifacts_dir, spec.name, preset, ctx.params, payload
             )
+
+    if artifacts_dir is not None:
+        registry = MetricsRegistry()
+        registry.counter("plan.planned").inc(report.stats.planned)
+        registry.counter("plan.distinct").inc(report.stats.distinct)
+        registry.counter("plan.deduplicated").inc(report.stats.deduplicated)
+        registry.counter("plan.cache_hits").inc(report.stats.cache_hits)
+        registry.counter("plan.simulated").inc(report.stats.simulated)
+        registry.gauge("plan.sweep_seconds").set(report.sweep_seconds)
+        if cache is not None:
+            registry.counter("cache.hits").inc(cache.stats.hits)
+            registry.counter("cache.misses").inc(cache.stats.misses)
+            registry.counter("cache.writes").inc(cache.stats.writes)
+        registry.write_json(Path(artifacts_dir) / "metrics.json")
 
     return report
 

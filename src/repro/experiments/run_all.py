@@ -22,8 +22,11 @@ from pathlib import Path
 from repro.__main__ import _job_count
 from repro.experiments import api
 from repro.experiments.cache import ResultCache, default_cache_root
+from repro.obs.logsetup import LOG_LEVELS, get_logger, setup_cli_logging
 
 __all__ = ["EXPERIMENTS", "build_parser", "main"]
+
+log = get_logger("repro.experiments.run_all")
 
 
 def _run_one(name: str):
@@ -32,7 +35,7 @@ def _run_one(name: str):
         text = spec.render(
             api.run_experiment(name, preset=preset, jobs=jobs)
         )
-        print(text)
+        log.info(text)
         return text
 
     return runner
@@ -91,12 +94,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="override the master seed of every planned config",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default=None,
+        help="verbosity of the repro.* loggers (default: info, which "
+        "keeps the output identical to earlier print-based releases)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> None:
     parser = build_parser()
     args = parser.parse_args(argv)
+    setup_cli_logging(args.log_level)
 
     names = args.only if args.only else list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -118,21 +129,23 @@ def main(argv: list[str] | None = None) -> None:
         cache=cache,
         artifacts_dir=artifacts_dir,
         overrides={"seed": args.seed} if args.seed is not None else None,
-        progress=print,
+        progress=log.info,
     )
     for name in names:
-        print(f"\n{'=' * 72}\nRunning {name} (preset={args.preset})\n{'=' * 72}")
-        print(report.texts[name])
-        print(f"[{name} done in {report.seconds[name]:.1f}s]")
+        log.info(
+            f"\n{'=' * 72}\nRunning {name} (preset={args.preset})\n{'=' * 72}"
+        )
+        log.info(report.texts[name])
+        log.info(f"[{name} done in {report.seconds[name]:.1f}s]")
 
     stats = report.stats
-    print(
+    log.info(
         f"\n[all done in {time.time() - start:.1f}s: "
         f"{stats.planned} planned points, {stats.distinct} distinct, "
         f"{stats.total_cached} cached, {stats.total_simulated} simulated]"
     )
     if report.artifacts:
-        print(f"[artifacts: {artifacts_dir}]")
+        log.info(f"[artifacts: {artifacts_dir}]")
 
 
 if __name__ == "__main__":

@@ -9,6 +9,9 @@ from repro.engine.config import SCALE_PRESETS, SimulationConfig
 from repro.engine.results import SimulationResult
 from repro.engine.sweep import run_sweep
 from repro.errors import ConfigurationError
+from repro.obs.logsetup import get_logger
+
+log = get_logger("repro.experiments.runner")
 
 __all__ = [
     "Series",
@@ -82,7 +85,10 @@ def sweep(
     Returns:
         ``(metric values, full results)`` in input order.
     """
+    configs = list(configs)
+    log.debug("sweep: %d configs, jobs=%s", len(configs), jobs)
     results = run_sweep(configs, jobs=jobs)
+    log.debug("sweep done: %d results", len(results))
     return [metric(r) for r in results], results
 
 

@@ -40,8 +40,11 @@ from repro.fleet.sharding import plan_shards
 from repro.fleet.worker import FleetSpec, WorkerReport, worker_main
 from repro.live.harness import LiveRunResult
 from repro.live.loadgen import ClientReport, LoadgenReport, generate_clients
+from repro.obs.logsetup import get_logger
 
 __all__ = ["merge_reports", "run_fleet", "run_fleet_loadgen"]
+
+log = get_logger("repro.fleet.supervisor")
 
 #: How often the supervisor polls worker stats during quiescence.
 _POLL_S = 0.1
@@ -217,6 +220,7 @@ def run_fleet(
     client_seed: int | None = None,
     sever_at_s: float | None = None,
     sever_worker: int = 0,
+    trace_recorder=None,
 ) -> LiveRunResult:
     """Run one config across a multi-process fleet and merge the result.
 
@@ -244,6 +248,14 @@ def run_fleet(
             time, ``sever_worker``'s outbound links are severed so the
             reconnect + anti-entropy path runs for real.
         sever_worker: The worker the severance hits.
+        trace_recorder: Optional :class:`~repro.obs.trace.TraceRecorder`
+            to trace the fleet into.  Workers record spans shard-locally
+            and ship them home in their reports; the supervisor absorbs
+            them (in worker-id order, ids stable across shards) plus
+            each worker's metrics snapshot (gauges prefixed
+            ``worker{N}.``) into this recorder.  Out-of-band by design:
+            the returned :class:`LiveRunResult` is bit-identical with or
+            without it.
 
     Raises:
         ConfigurationError: on unsupported configs or worker counts.
@@ -266,6 +278,7 @@ def run_fleet(
         queue_high=queue_high,
         queue_low=queue_low,
         resync_sample=resync_sample,
+        trace=trace_recorder is not None,
     )
 
     ctx = multiprocessing.get_context("spawn")
@@ -297,11 +310,13 @@ def run_fleet(
             conns.append(parent_conn)
             procs.append(proc)
 
+        log.debug("fleet: %d workers spawned (trace=%s)", workers, spec.trace)
         # Build + bind can take a while on big presets.
         ports: dict[int, int] = {}
         for conn in conns:
             _tag, worker_id, port = _expect(conn, "ready", 120.0, state)
             ports[worker_id] = port
+        log.debug("fleet: all workers ready, ports=%s", ports)
 
         epoch = time.monotonic() + 0.25
         for conn in conns:
@@ -364,6 +379,7 @@ def run_fleet(
                         break  # give up; residual reconciles to drops
             time.sleep(_POLL_S)
 
+        log.debug("fleet: quiesced, collecting reports")
         for conn in conns:
             conn.send(("finish",))
         reports: list[WorkerReport] = []
@@ -383,6 +399,15 @@ def run_fleet(
             os.environ.pop("PYTHONPATH", None)
         else:
             os.environ["PYTHONPATH"] = old_pythonpath
+
+    if trace_recorder is not None:
+        # Worker-id order keeps the merged stream deterministic over
+        # shard assignment; update ids are already fleet-global.
+        for report in sorted(reports, key=lambda r: r.worker):
+            trace_recorder.absorb(report.spans)
+            trace_recorder.metrics.absorb(
+                report.metrics_snapshot, gauge_prefix=f"worker{report.worker}."
+            )
 
     extras = {
         "workload": config.workload.name,

@@ -66,10 +66,12 @@ from repro.live.protocol import (
     ProtocolError,
     ResyncRequest,
     ResyncResponse,
+    Stats,
     check_version,
     encode_message,
     read_message,
 )
+from repro.obs.trace import TraceRecorder
 
 __all__ = ["FleetSpec", "WorkerReport", "worker_main"]
 
@@ -94,6 +96,13 @@ class FleetSpec:
     queue_low: int = 64
     resync_sample: int = 8
     host: str = "127.0.0.1"
+    #: Attach a span recorder on every worker and ship the spans plus a
+    #: metrics snapshot home in the report.  Deliberately NOT part of
+    #: the run's :class:`~repro.engine.config.SimulationConfig` -- the
+    #: flag crosses the spawn pipe out-of-band, so cache fingerprints
+    #: and dissemination behaviour are untouched (traced fleet runs are
+    #: bit-identical to untraced ones).
+    trace: bool = False
 
 
 @dataclass
@@ -124,6 +133,15 @@ class WorkerReport:
     counters: CostCounters = field(default_factory=CostCounters)
     per_pair_loss: dict = field(default_factory=dict)
     client_loss: dict = field(default_factory=dict)
+    #: Trace spans recorded on this shard (empty unless ``spec.trace``);
+    #: the supervisor merges them into the caller's recorder with
+    #: update ids stable across shards.
+    spans: list = field(default_factory=list)
+    #: JSON-ready :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    #: of this worker's telemetry (empty unless ``spec.trace``).
+    metrics_snapshot: dict = field(default_factory=dict)
+    #: Peer :class:`~repro.live.protocol.Stats` frames absorbed.
+    stats_frames: int = 0
 
 
 def worker_main(worker_id: int, spec: FleetSpec, conn) -> None:
@@ -167,6 +185,12 @@ async def _run_worker(worker_id: int, spec: FleetSpec, conn) -> None:
 
     report = WorkerReport(worker=worker_id, n_local_nodes=len(local_nodes))
     report.counters = network.counters
+
+    # Out-of-band span recorder: write-only, so attaching it leaves the
+    # shard's dissemination decisions bit-identical (see repro.obs.trace).
+    recorder = TraceRecorder(policy=config.policy) if spec.trace else None
+    if recorder is not None:
+        network.attach_observer(recorder)
 
     epoch = 0.0
     ports: dict[int, int] = {}
@@ -225,6 +249,14 @@ async def _run_worker(worker_id: int, spec: FleetSpec, conn) -> None:
             if self.writer is not None and not self.writer.is_closing():
                 self.writer.close()
 
+        def _wire_drop(self, frame: Forward) -> None:
+            report.dropped += 1
+            if recorder is not None:
+                recorder.on_drop(
+                    frame.seq - 1, frame.item_id, frame.arrival_s,
+                    frame.src, frame.dst, "wire",
+                )
+
         async def pump(self) -> None:
             while True:
                 frame = await self.queue.get()
@@ -232,28 +264,53 @@ async def _run_worker(worker_id: int, spec: FleetSpec, conn) -> None:
                 if writer is None:
                     # Reconnect exhausted: the wire ate the frame.
                     if isinstance(frame, Forward):
-                        report.dropped += 1
+                        self._wire_drop(frame)
                     continue
                 writer.write(encode_message(frame))
                 try:
                     await writer.drain()
                 except (ConnectionError, OSError):
                     if isinstance(frame, Forward):
-                        report.dropped += 1
+                        self._wire_drop(frame)
 
         async def heartbeat(self) -> None:
             while True:
                 await asyncio.sleep(spec.heartbeat_interval_s)
+                if recorder is not None:
+                    recorder.metrics.gauge(
+                        f"send_queue_depth[->{self.peer}]"
+                    ).set(len(self.queue))
                 if self.queue:
                     continue  # data is flowing: the link proves itself
                 writer = await self.connect()
                 if writer is None:
                     continue
-                writer.write(encode_message(Heartbeat(src=worker_id)))
+                frames = encode_message(Heartbeat(src=worker_id))
+                if recorder is not None:
+                    # Traced runs piggyback a telemetry frame on the
+                    # heartbeat cadence; untraced runs put nothing extra
+                    # on the wire.
+                    frames += encode_message(
+                        Stats(
+                            src=worker_id,
+                            sent=report.sent,
+                            delivered=report.delivered,
+                            dropped=report.dropped,
+                            pending=pending(),
+                        )
+                    )
+                writer.write(frames)
+                started = time.monotonic()
                 try:
                     await writer.drain()
                 except (ConnectionError, OSError):
                     continue
+                if recorder is not None:
+                    # Wall-clock flush latency -- telemetry only, never
+                    # part of the result's bit-identity contract.
+                    recorder.metrics.histogram("heartbeat_rtt_ms").observe(
+                        (time.monotonic() - started) * 1000.0
+                    )
                 report.heartbeats += 1
 
     links: dict[int, Link] = {
@@ -414,6 +471,15 @@ async def _run_worker(worker_id: int, spec: FleetSpec, conn) -> None:
                             links[plan.owner[message.parent]].queue.put_nowait(
                                 request
                             )
+                elif isinstance(message, Stats):
+                    report.stats_frames += 1
+                    if recorder is not None:
+                        metrics = recorder.metrics
+                        peer = message.src
+                        metrics.gauge(f"peer{peer}.sent").set(message.sent)
+                        metrics.gauge(f"peer{peer}.delivered").set(message.delivered)
+                        metrics.gauge(f"peer{peer}.dropped").set(message.dropped)
+                        metrics.gauge(f"peer{peer}.pending").set(message.pending)
                 elif isinstance(message, Heartbeat):
                     continue
                 else:  # pragma: no cover - all frame types handled above
@@ -542,4 +608,13 @@ async def _run_worker(worker_id: int, spec: FleetSpec, conn) -> None:
     if owns_source:
         senders.append(network.source_node)
     report.client_messages = sum(node.client_messages for node in senders)
+    if recorder is not None:
+        metrics = recorder.metrics
+        metrics.counter("fleet.reconnects").inc(report.reconnects)
+        metrics.counter("fleet.resync_frames").inc(report.resync_frames)
+        metrics.counter("fleet.heartbeats").inc(report.heartbeats)
+        metrics.counter("fleet.queue_stalls").inc(report.queue_stalls)
+        metrics.counter("fleet.stats_frames").inc(report.stats_frames)
+        report.spans = recorder.events
+        report.metrics_snapshot = metrics.snapshot()
     conn.send(("report", worker_id, report))

@@ -141,6 +141,22 @@ class LiveNetwork:
         #: Set by :func:`build_live_network` when the config carries an
         #: adaptive policy; the in-process transport schedules its ticks.
         self.adaptive: LiveAdaptiveController | None = None
+        #: Out-of-band trace observer (see :meth:`attach_observer`);
+        #: transports consult it at their drop sites.
+        self.observer = None
+
+    def attach_observer(self, observer) -> None:
+        """Attach a trace observer to the network and every node.
+
+        Out-of-band like the engine's ``observer=`` keyword: the
+        observer only records decisions, so an observed run stays
+        bit-identical to an unobserved one.  Call before handing the
+        network to ``run_live(..., network=network)``.
+        """
+        self.observer = observer
+        self.source_node.observer = observer
+        for repo in self.repositories.values():
+            repo.observer = observer
 
     def node(self, node_id: int):
         """The message handler for one destination node id."""

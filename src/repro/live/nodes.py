@@ -89,6 +89,11 @@ class _ForwardingNode:
         self.edges: dict[int, list[Edge]] = {}
         #: Client-plane messages sent (kept out of ``counters``).
         self.client_messages = 0
+        #: Out-of-band trace observer (attached by the harness when the
+        #: run is traced; see :mod:`repro.obs.trace`).  Write-only: it
+        #: records decisions, never makes them, so attaching one keeps
+        #: the run bit-identical.
+        self.observer = None
 
     def add_edge(
         self,
@@ -114,12 +119,21 @@ class _ForwardingNode:
         is_source: bool,
     ) -> list[Outbound]:
         out: list[Outbound] = []
+        observer = self.observer
+        # The live plane numbers workload updates from 1 (seq); the
+        # trace id is the schedule index, hence seq - 1.
+        update_id = seq - 1
         for edge in self.edges.get(item_id, ()):
             if edge.is_client:
                 forward = edge.filter.decide(value, parent_receive_c, None)
             else:
                 forward = edge.filter.decide(value, parent_receive_c, tag)
                 self.counters.record_check(self.node, is_source=is_source)
+                if observer is not None:
+                    observer.on_check(
+                        update_id, item_id, now, self.node, edge.child,
+                        1, forward, is_source,
+                    )
             if not forward:
                 continue
             departure = self.station.submit(now, self.comp_delay_s)
@@ -127,6 +141,11 @@ class _ForwardingNode:
                 self.client_messages += 1
             else:
                 self.counters.record_message(self.node, is_source=is_source)
+                if observer is not None:
+                    observer.on_forward(
+                        update_id, item_id, now, self.node, edge.child,
+                        departure + edge.link_delay_s - now,
+                    )
                 edge.last_seq = seq
                 edge.last_value = value
             out.append(
@@ -173,15 +192,23 @@ class SourceNode(_ForwardingNode):
         self.values[item_id] = value
         self._seq += 1
         tag: float | None = None
+        checks = 0
+        disseminate = True
         if self.tagger is not None:
             decision = self.tagger.examine(item_id, value)
+            checks = decision.checks
+            disseminate = decision.disseminate
             if decision.checks:
                 self.counters.record_check(
                     self.node, is_source=True, count=decision.checks
                 )
-            if not decision.disseminate:
-                return []
-            tag = decision.tag
+            tag = decision.tag if disseminate else None
+        if self.observer is not None:
+            self.observer.on_source(
+                self._seq - 1, item_id, now, self.node, checks, disseminate
+            )
+        if not disseminate:
+            return []
         return self._forward(
             item_id, value, tag, now, parent_receive_c=0.0, seq=self._seq,
             is_source=True,
@@ -210,6 +237,8 @@ class RepositoryNode(_ForwardingNode):
     def on_message(self, update: Update, now: float) -> list[Outbound]:
         """Handle one pushed update: log it, then forward downstream."""
         self.counters.record_delivery()
+        if self.observer is not None:
+            self.observer.on_deliver(update.seq - 1, update.item_id, now, self.node)
         if update.seq > self.seqs.get(update.item_id, 0):
             self.seqs[update.item_id] = update.seq
         log = self.deliveries.get(update.item_id)

@@ -22,6 +22,13 @@ Message types (the ``"type"`` field):
 - ``heartbeat`` -- connection liveness probe sent between updates so
   severed peers are noticed and reconnected (:class:`Heartbeat`);
   carries no data and stays out of the wire-conservation accounting;
+- ``stats`` -- periodic telemetry frame a traced fleet worker
+  piggybacks on its heartbeat cadence (:class:`Stats`): wire-level
+  send/deliver/drop totals plus the sender's pending-queue depth.
+  Receivers fold it into their metrics registry; like heartbeats it
+  stays out of the conservation accounting and is only emitted when
+  the run is traced, so untraced fleet runs put nothing extra on the
+  wire;
 - ``resync-request`` / ``resync-response`` -- one round of the
   sample-based anti-entropy protocol (:class:`ResyncRequest`,
   :class:`ResyncResponse`; the sans-io state machines live in
@@ -56,6 +63,7 @@ __all__ = [
     "Update",
     "Forward",
     "Heartbeat",
+    "Stats",
     "ResyncRequest",
     "ResyncResponse",
     "Bye",
@@ -71,7 +79,7 @@ __all__ = [
 #: Version of the wire protocol; bumped on any frame-shape change.  A
 #: :class:`Hello` carrying a different version is rejected at handshake
 #: time instead of failing mysteriously mid-stream.
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 #: Upper bound on one frame body; a live update is tens of bytes and an
 #: anti-entropy batch a few kilobytes, so anything bigger means a
@@ -187,6 +195,31 @@ class Heartbeat:
 
 
 @dataclass(frozen=True)
+class Stats:
+    """Periodic worker telemetry, piggybacked on the heartbeat cadence.
+
+    Only emitted by traced fleet runs (``FleetSpec.trace``); receivers
+    fold the totals into their metrics registry as
+    ``peer{src}.sent`` / ``.delivered`` / ``.dropped`` / ``.pending``
+    gauges.  Purely observational: never counted toward wire
+    conservation and never consulted by any dissemination decision.
+
+    Attributes:
+        src: Reporting worker id.
+        sent / delivered / dropped: That worker's wire totals so far.
+        pending: Frames queued locally (send queues + local heap).
+    """
+
+    src: int
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    pending: int = 0
+
+    type: str = "stats"
+
+
+@dataclass(frozen=True)
 class ResyncRequest:
     """One child-initiated round of the sample-based anti-entropy resync.
 
@@ -243,13 +276,16 @@ class Bye:
     type: str = "bye"
 
 
-Message = Hello | Update | Forward | Heartbeat | ResyncRequest | ResyncResponse | Bye
+Message = (
+    Hello | Update | Forward | Heartbeat | Stats | ResyncRequest | ResyncResponse | Bye
+)
 
 _DECODERS = {
     "hello": Hello,
     "update": Update,
     "forward": Forward,
     "heartbeat": Heartbeat,
+    "stats": Stats,
     "resync-request": ResyncRequest,
     "resync-response": ResyncResponse,
     "bye": Bye,

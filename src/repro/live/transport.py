@@ -136,6 +136,8 @@ class InProcessTransport:
             else None
         )
 
+        observer = network.observer
+
         def dispatch(outs: list[Outbound]) -> None:
             for out in outs:
                 stats.sent += 1
@@ -149,6 +151,11 @@ class InProcessTransport:
                         # consumed for frames that enter the network.
                         stats.dropped += 1
                         network.counters.record_drop()
+                        if observer is not None:
+                            observer.on_drop(
+                                out.update.seq - 1, out.update.item_id,
+                                kernel.now, out.update.src, out.dst, "partition",
+                            )
                         continue
                     if (
                         loss_rng is not None
@@ -156,6 +163,11 @@ class InProcessTransport:
                     ):
                         stats.dropped += 1
                         network.counters.record_drop()
+                        if observer is not None:
+                            observer.on_drop(
+                                out.update.seq - 1, out.update.item_id,
+                                kernel.now, out.update.src, out.dst, "loss",
+                            )
                         continue
                 arrival = out.arrival_s
                 if jitter_rng is not None:
@@ -168,6 +180,11 @@ class InProcessTransport:
                 # at arrival time exactly like the engine's _on_delivery.
                 stats.dropped += 1
                 network.counters.record_drop()
+                if observer is not None:
+                    observer.on_drop(
+                        out.update.seq - 1, out.update.item_id,
+                        kernel.now, out.update.src, out.dst, "crash",
+                    )
                 return
             stats.delivered += 1
             dispatch(network.node(out.dst).on_message(out.update, kernel.now))
@@ -314,10 +331,17 @@ class TcpTransport:
             if replay_done and stats.in_flight == 0:
                 quiet.set()
 
-        def drop() -> None:
+        observer = network.observer
+
+        def drop(out: Outbound, reason: str) -> None:
             """Count one schedule/loss drop, engine-comparably."""
             stats.dropped += 1
             network.counters.record_drop()
+            if observer is not None:
+                observer.on_drop(
+                    out.update.seq - 1, out.update.item_id,
+                    out.arrival_s, out.update.src, out.dst, reason,
+                )
             check_quiet()
 
         def dispatch(outs: list[Outbound]) -> None:
@@ -337,7 +361,7 @@ class TcpTransport:
                     # Bernoulli loss; link-dead frames are skipped first
                     # so the stream is only consumed for frames that
                     # would enter the network (the engine's order).
-                    drop()
+                    drop(out, "loss")
                     continue
                 due_wall = start_wall + out.arrival_s / self.time_scale
                 heapq.heappush(
@@ -448,12 +472,22 @@ class TcpTransport:
                     # Judged by the frame's logical arrival against the
                     # precomputed availability windows -- deterministic
                     # even when the wall clock races the event task.
-                    drop()
+                    drop(
+                        out,
+                        "crash"
+                        if controller.crashed_at(out.dst, out.arrival_s)
+                        else "partition",
+                    )
                     continue
                 writer = await ensure_writer(dst)
                 if writer is None:
                     # Reconnect exhausted: the wire ate the frame.
                     stats.dropped += 1
+                    if observer is not None:
+                        observer.on_drop(
+                            out.update.seq - 1, out.update.item_id,
+                            out.arrival_s, out.update.src, out.dst, "wire",
+                        )
                     check_quiet()
                     continue
                 writer.write(encode_message(out.update))
@@ -463,6 +497,11 @@ class TcpTransport:
                     # Severed mid-frame (crash event): the receiver never
                     # parses a partial frame, so count it as dropped.
                     stats.dropped += 1
+                    if observer is not None:
+                        observer.on_drop(
+                            out.update.seq - 1, out.update.item_id,
+                            out.arrival_s, out.update.src, out.dst, "wire",
+                        )
                     check_quiet()
 
         async def heartbeat(dst: int) -> None:

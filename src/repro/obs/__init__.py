@@ -1,0 +1,46 @@
+"""Unified observability layer: trace spans, metrics, explanations.
+
+Three pieces, shared by both simulation kernels, both live transports
+and the multi-process fleet:
+
+- :mod:`repro.obs.trace` -- deterministic per-update trace spans
+  emitted through a zero-cost-when-disabled observer hook.  Enabling
+  tracing never perturbs results: traced runs are bit-identical to
+  untraced runs, and span sums reconcile exactly with
+  ``CostCounters``.
+- :mod:`repro.obs.metrics` -- a counters/gauges/histograms registry for
+  operational telemetry outside the paper's message economy, with JSON
+  snapshot export and fleet merge.
+- :mod:`repro.obs.explain` -- the fidelity-violation explainer: walks a
+  span stream upward from any lossy ``(repository, item)`` pair to the
+  hop and reason the update never arrived.
+
+:mod:`repro.obs.logsetup` carries the CLI logging plumbing
+(``repro.*`` namespaced loggers, byte-identical default output).
+"""
+
+from repro.obs.explain import (
+    Explanation,
+    explain_loss_segments,
+    explain_pair,
+    format_explanation,
+)
+from repro.obs.logsetup import get_logger, setup_cli_logging
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import SpanEvent, TraceRecorder, TraceTotals
+
+__all__ = [
+    "SpanEvent",
+    "TraceRecorder",
+    "TraceTotals",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Explanation",
+    "explain_pair",
+    "explain_loss_segments",
+    "format_explanation",
+    "get_logger",
+    "setup_cli_logging",
+]

@@ -1,0 +1,210 @@
+"""Fidelity-violation explainer: from loss segment to causal chain.
+
+A run reports *that* a ``(repository, item)`` pair lost fidelity
+(``result.extras["per_pair_loss"]``); this module reconstructs *why*
+from the span stream of a traced run.  For every update of the item the
+repository never applied, :func:`explain_pair` walks the dissemination
+path upward from the repository -- following the trace's own record of
+who forwards to whom -- until it finds the terminal event:
+
+- a ``drop`` span (``crash`` / ``partition`` / ``loss`` / ``departed`` /
+  ``wire``) names the hop where the message died;
+- a non-forwarded ``check`` span names the hop whose coherency filter
+  held the update back (legitimate filtering, not a violation);
+- a suppressed ``source`` span means no dependent tolerance was
+  violated and the update was never meant to travel.
+
+The walk needs no topology input: parent candidates are recovered from
+the item's own spans (any node that ever checked, forwarded or dropped
+toward the child), which keeps the explainer correct across failover
+re-homing and adaptive rewiring -- whatever edges actually carried
+traffic are the edges the walk follows.
+
+``python -m repro obs explain`` wraps this end-to-end: re-run a config
+deterministically with tracing enabled, score it, and explain every
+loss segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.obs.trace import SpanEvent, TraceRecorder
+
+__all__ = [
+    "Explanation",
+    "explain_pair",
+    "explain_loss_segments",
+    "format_explanation",
+]
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Terminal cause for one undelivered update at one repository.
+
+    Attributes:
+        repository / item_id / update_id: The loss segment coordinates.
+        verdict: ``dropped`` | ``filtered`` | ``suppressed`` |
+            ``delivered`` | ``unexplained``.
+        node / dst: The hop where the update's journey ended (``node``
+            sent or decided, ``dst`` never received); ``None`` for
+            source-suppressed updates and unexplained gaps.
+        reason: Drop cause or filter rule from the terminal span.
+        time: Simulated time of the terminal span.
+        path: Nodes walked upward from the repository (repository
+            first) before the terminal hop was found.
+    """
+
+    repository: int
+    item_id: int
+    update_id: int
+    verdict: str
+    node: int | None = None
+    dst: int | None = None
+    reason: str | None = None
+    time: float | None = None
+    path: tuple[int, ...] = ()
+
+
+def _item_events(events: Iterable[SpanEvent], item_id: int) -> list[SpanEvent]:
+    return [ev for ev in events if ev.item_id == item_id]
+
+
+def _upstream_candidates(events: Sequence[SpanEvent]) -> dict[int, list[int]]:
+    """Who has ever sent (or tried to send) toward each node, per item."""
+    upstream: dict[int, set[int]] = {}
+    for ev in events:
+        if ev.dst is not None and ev.kind in ("check", "forward", "drop"):
+            upstream.setdefault(ev.dst, set()).add(ev.node)
+    return {dst: sorted(nodes) for dst, nodes in upstream.items()}
+
+
+def _explain_update(
+    events: Sequence[SpanEvent],
+    upstream: Mapping[int, list[int]],
+    repository: int,
+    item_id: int,
+    update_id: int,
+) -> Explanation:
+    """Walk upward from ``repository`` to the terminal span of one update."""
+    into: dict[int, list[SpanEvent]] = {}
+    delivered: set[int] = set()
+    source_span: SpanEvent | None = None
+    for ev in events:
+        if ev.update_id != update_id:
+            continue
+        if ev.kind == "deliver":
+            delivered.add(ev.node)
+        elif ev.kind == "source":
+            source_span = ev
+        elif ev.dst is not None:
+            into.setdefault(ev.dst, []).append(ev)
+
+    def walk(node: int, path: tuple[int, ...]) -> Explanation | None:
+        if node in path:
+            return None
+        path = path + (node,)
+        for ev in into.get(node, ()):
+            if ev.kind == "drop":
+                return Explanation(
+                    repository, item_id, update_id,
+                    verdict="dropped", node=ev.node, dst=node,
+                    reason=ev.reason, time=ev.time, path=path,
+                )
+            if ev.kind == "check" and ev.forwarded is False:
+                return Explanation(
+                    repository, item_id, update_id,
+                    verdict="filtered", node=ev.node, dst=node,
+                    reason=ev.reason, time=ev.time, path=path,
+                )
+        if node in delivered or into.get(node):
+            # The node received the update but the trace shows no edge
+            # decision toward the hop below it -- a rewiring window gap.
+            return Explanation(
+                repository, item_id, update_id,
+                verdict="unexplained", node=node, dst=None,
+                reason="no-edge-decision-recorded", path=path,
+            )
+        if source_span is not None and node == source_span.node:
+            if source_span.forwarded is False:
+                return Explanation(
+                    repository, item_id, update_id,
+                    verdict="suppressed", node=node, dst=None,
+                    reason=source_span.reason, time=source_span.time, path=path,
+                )
+            return None
+        for parent in upstream.get(node, ()):
+            found = walk(parent, path)
+            if found is not None:
+                return found
+        return None
+
+    if repository in delivered:
+        return Explanation(repository, item_id, update_id, verdict="delivered")
+    found = walk(repository, ())
+    if found is not None:
+        return found
+    return Explanation(
+        repository, item_id, update_id,
+        verdict="unexplained", reason="no-terminal-span-found",
+        path=(repository,),
+    )
+
+
+def explain_pair(
+    recorder: TraceRecorder | Iterable[SpanEvent],
+    repository: int,
+    item_id: int,
+) -> list[Explanation]:
+    """Explain every undelivered update of ``item_id`` at ``repository``.
+
+    Returns one :class:`Explanation` per disseminated update the
+    repository never applied, in update order.  Source-suppressed
+    updates are included (verdict ``suppressed``) because they are part
+    of the causal story of a stale pair, even though no message existed.
+    """
+    events = recorder.events if isinstance(recorder, TraceRecorder) else list(recorder)
+    events = _item_events(events, item_id)
+    upstream = _upstream_candidates(events)
+    delivered_here = {
+        ev.update_id for ev in events if ev.kind == "deliver" and ev.node == repository
+    }
+    update_ids = sorted({ev.update_id for ev in events})
+    return [
+        _explain_update(events, upstream, repository, item_id, update_id)
+        for update_id in update_ids
+        if update_id not in delivered_here
+    ]
+
+
+def explain_loss_segments(
+    recorder: TraceRecorder | Iterable[SpanEvent],
+    per_pair_loss: Mapping[tuple[int, int], float],
+) -> dict[tuple[int, int], list[Explanation]]:
+    """Explain every ``(repository, item)`` pair with nonzero loss.
+
+    ``per_pair_loss`` is the ``result.extras["per_pair_loss"]`` mapping
+    produced by both the simulation kernels and the live harness.
+    """
+    return {
+        (repo, item_id): explain_pair(recorder, repo, item_id)
+        for (repo, item_id), loss in sorted(per_pair_loss.items())
+        if loss > 0.0
+    }
+
+
+def format_explanation(exp: Explanation) -> str:
+    """One human-readable line per explanation."""
+    where = f"repo {exp.repository} item {exp.item_id} update {exp.update_id}"
+    when = f" at t={exp.time:.3f}s" if exp.time is not None else ""
+    if exp.verdict == "dropped":
+        return f"{where}: dropped on hop {exp.node}->{exp.dst} [{exp.reason}]{when}"
+    if exp.verdict == "filtered":
+        return f"{where}: filtered on hop {exp.node}->{exp.dst} [{exp.reason}]{when}"
+    if exp.verdict == "suppressed":
+        return f"{where}: suppressed at source {exp.node} [{exp.reason}]{when}"
+    if exp.verdict == "delivered":
+        return f"{where}: delivered (no violation)"
+    return f"{where}: unexplained [{exp.reason}]"

@@ -1,0 +1,75 @@
+"""Stdlib-``logging`` plumbing for the ``repro.*`` CLI surfaces.
+
+All human-facing progress output flows through namespaced
+``repro.<module>`` loggers instead of ad-hoc ``print`` calls, with two
+invariants:
+
+1. **Byte-identical default output.**  The CLI handler writes bare
+   ``%(message)s`` lines to ``sys.stdout`` at ``INFO`` level, so every
+   line that used to be ``print(text)`` is emitted unchanged --
+   existing CLI golden tests keep passing without modification.
+2. **Late stream binding.**  :class:`StdoutHandler` resolves
+   ``sys.stdout`` at emit time rather than capturing it at
+   configuration time, so pytest's ``capsys`` redirection (and any
+   other stream swap) is honored even though logging configuration is
+   process-global and survives across in-process CLI invocations.
+
+``--log-level debug`` opens the diagnostic firehose: the experiment
+runner, the run-all driver and the fleet supervisor log lifecycle
+detail (plans, spawns, quiescence polling, merges) at ``DEBUG``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["StdoutHandler", "setup_cli_logging", "get_logger", "LOG_LEVELS"]
+
+#: Accepted ``--log-level`` values, in increasing verbosity order.
+LOG_LEVELS = ("error", "warning", "info", "debug")
+
+
+class StdoutHandler(logging.StreamHandler):
+    """A ``StreamHandler`` that re-resolves ``sys.stdout`` per record."""
+
+    def __init__(self):
+        # Skip StreamHandler.__init__: it pins a stream object, and the
+        # whole point of this class is to never do that.
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):
+        return sys.stdout
+
+    @stream.setter
+    def stream(self, value):  # pragma: no cover - setter must exist, binding is ignored
+        pass
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The namespaced logger for ``name`` (conventionally ``__name__``)."""
+    return logging.getLogger(name)
+
+
+def setup_cli_logging(level: str | int | None = None) -> logging.Logger:
+    """Configure the ``repro`` logger tree for CLI output.
+
+    Idempotent: repeated calls (one per in-process CLI invocation under
+    tests) reuse the already-attached handler and only adjust the
+    level.  Returns the configured root ``repro`` logger.
+    """
+    logger = logging.getLogger("repro")
+    if not any(isinstance(h, StdoutHandler) for h in logger.handlers):
+        handler = StdoutHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+    logger.propagate = False
+    if level is None:
+        resolved = logging.INFO
+    elif isinstance(level, str):
+        resolved = getattr(logging, level.upper())
+    else:
+        resolved = level
+    logger.setLevel(resolved)
+    return logger

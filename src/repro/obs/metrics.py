@@ -1,0 +1,235 @@
+"""Metrics registry: counters, gauges and histograms beyond ``CostCounters``.
+
+:class:`~repro.core.metrics.CostCounters` is the paper's *economy* --
+the message/check/drop totals the evaluation tables are built from, and
+therefore part of the bit-identity contract between kernels.  This
+module is everything the economy deliberately leaves out: operational
+telemetry.  Per-edge simulated-latency histograms, send-queue depth and
+stall gauges, heartbeat round-trip times, reconnect and resync counts,
+adaptive drift per tick, result-cache hit/miss -- numbers you reach for
+when a run *misbehaves*, not when you reproduce a figure.
+
+The registry is deliberately tiny and dependency-free:
+
+- :class:`Counter` -- a monotonically increasing integer.
+- :class:`Gauge` -- a last-written float (with observed min/max).
+- :class:`Histogram` -- fixed upper-bound buckets plus count/sum/min/max,
+  so merged snapshots stay exact.
+- :class:`MetricsRegistry` -- name-keyed get-or-create store with a
+  JSON-ready :meth:`~MetricsRegistry.snapshot` and snapshot
+  :meth:`~MetricsRegistry.absorb` for fleet merge (worker registries
+  travel home as snapshots inside worker reports).
+
+Nothing in this module is consulted by the engines' hot paths unless an
+observer is attached, so the determinism guarantee of
+:mod:`repro.obs.trace` extends to metrics collection: an attached
+registry only *records*; it never feeds back into simulation state.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BOUNDS_MS",
+]
+
+#: Default bucket upper bounds (milliseconds) for latency histograms --
+#: roughly logarithmic from LAN-local to badly congested.
+DEFAULT_LATENCY_BOUNDS_MS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 1000.0)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = int(value)
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0) to the counter."""
+        if n < 0:
+            raise ValueError(f"counter {self.name}: negative increment {n}")
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A last-written float metric that also tracks its observed range."""
+
+    __slots__ = ("name", "value", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def set(self, value: float) -> None:
+        """Record the current level of the tracked quantity."""
+        value = float(value)
+        self.value = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum/min/max sidecars.
+
+    ``bounds`` are inclusive upper edges; one overflow bucket catches
+    everything above the last edge, so ``sum(buckets) == count`` always
+    holds and two histograms with equal bounds merge losslessly.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS_MS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name}: bounds must be sorted and non-empty")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the buckets and sidecars."""
+        value = float(value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                break
+        else:
+            self.buckets[-1] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:.3g})"
+
+
+class MetricsRegistry:
+    """Name-keyed get-or-create store for counters, gauges and histograms."""
+
+    def __init__(self):
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Return the counter called ``name``, creating it at 0."""
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """Return the gauge called ``name``, creating it if needed."""
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS_MS
+    ) -> Histogram:
+        """Return the histogram called ``name``, creating it if needed."""
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name, bounds)
+        return metric
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of every metric, deterministically ordered."""
+
+        def _finite(value: float) -> float | None:
+            return value if math.isfinite(value) else None
+
+        return {
+            "counters": {
+                name: metric.value for name, metric in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: {
+                    "value": metric.value,
+                    "min": _finite(metric.min),
+                    "max": _finite(metric.max),
+                }
+                for name, metric in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(metric.bounds),
+                    "buckets": list(metric.buckets),
+                    "count": metric.count,
+                    "sum": metric.total,
+                    "min": _finite(metric.min),
+                    "max": _finite(metric.max),
+                }
+                for name, metric in sorted(self.histograms.items())
+            },
+        }
+
+    def absorb(self, snapshot: dict, *, gauge_prefix: str = "") -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and same-bounds histograms merge additively (exact);
+        gauges are point-in-time levels with no cross-process sum, so
+        they are stored under ``gauge_prefix + name`` -- the fleet
+        supervisor passes ``gauge_prefix="worker3."`` to keep each
+        shard's levels distinguishable.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, data in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(gauge_prefix + name)
+            gauge.set(float(data["value"]))
+            if data.get("min") is not None:
+                gauge.min = min(gauge.min, float(data["min"]))
+            if data.get("max") is not None:
+                gauge.max = max(gauge.max, float(data["max"]))
+        for name, data in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, tuple(data["bounds"]))
+            if list(hist.bounds) != list(data["bounds"]):
+                raise ValueError(f"histogram {name}: mismatched bounds in merge")
+            for i, n in enumerate(data["buckets"]):
+                hist.buckets[i] += int(n)
+            hist.count += int(data["count"])
+            hist.total += float(data["sum"])
+            if data.get("min") is not None:
+                hist.min = min(hist.min, float(data["min"]))
+            if data.get("max") is not None:
+                hist.max = max(hist.max, float(data["max"]))
+
+    def write_json(self, path: str | Path) -> Path:
+        """Export :meth:`snapshot` as a JSON artifact; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n")
+        return path

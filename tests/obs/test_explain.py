@@ -1,0 +1,109 @@
+"""Golden tests for the fidelity-violation explainer.
+
+A seeded crash-and-partition run loses fidelity on many (repository,
+item) pairs; the explainer must reconstruct, for every such loss
+segment, the causal chain from the trace -- naming the hop and the
+reason each missing update never arrived.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.config import SCALE_PRESETS
+from repro.engine.failures import failures_for_config
+from repro.engine.simulation import run_simulation
+from repro.obs.explain import (
+    explain_loss_segments,
+    explain_pair,
+    format_explanation,
+)
+from repro.obs.trace import TraceRecorder
+
+BASE = SCALE_PRESETS["tiny"].with_(
+    n_repositories=8, n_routers=24, n_items=3, trace_samples=150, seed=11
+)
+
+TERMINAL_VERDICTS = {"dropped", "filtered", "suppressed"}
+
+
+@pytest.fixture(scope="module")
+def crash_partition_run():
+    config = BASE.with_(
+        failures=failures_for_config(BASE, crashes=2, partitions=1)
+    )
+    recorder = TraceRecorder(policy=config.policy)
+    result = run_simulation(config, observer=recorder)
+    return recorder, result
+
+
+def test_every_loss_segment_gets_a_named_cause(crash_partition_run):
+    recorder, result = crash_partition_run
+    per_pair = result.extras["per_pair_loss"]
+    lossy = {pair for pair, loss in per_pair.items() if loss > 0.0}
+    assert lossy, "the seeded schedule must actually cost fidelity"
+
+    explanations = explain_loss_segments(recorder, per_pair)
+    assert set(explanations) == lossy  # one entry per loss segment
+
+    for (repo, item_id), pair_explanations in explanations.items():
+        assert pair_explanations, f"pair ({repo}, {item_id}) unexplained"
+        for explanation in pair_explanations:
+            assert explanation.verdict in TERMINAL_VERDICTS | {"unexplained"}
+            if explanation.verdict == "dropped":
+                assert explanation.dst is not None  # the hop is named
+                assert explanation.reason in (
+                    "crash", "partition", "loss", "departed", "wire"
+                )
+            if explanation.verdict == "filtered":
+                assert explanation.dst is not None
+                assert explanation.reason == "within-tolerance-and-slack"
+        # No segment may be explained *only* by "unexplained" verdicts.
+        assert any(
+            e.verdict in TERMINAL_VERDICTS for e in pair_explanations
+        ), f"pair ({repo}, {item_id}) has no terminal cause"
+
+
+def test_failure_drops_surface_as_crash_or_partition(crash_partition_run):
+    recorder, result = crash_partition_run
+    explanations = explain_loss_segments(
+        recorder, result.extras["per_pair_loss"]
+    )
+    reasons = {
+        e.reason
+        for pair_explanations in explanations.values()
+        for e in pair_explanations
+        if e.verdict == "dropped"
+    }
+    assert reasons & {"crash", "partition"}
+
+
+def test_clean_run_pairs_explain_as_filtered():
+    recorder = TraceRecorder(policy=BASE.policy)
+    result = run_simulation(BASE, observer=recorder)
+    per_pair = result.extras["per_pair_loss"]
+    lossy = [pair for pair, loss in per_pair.items() if loss > 0.0]
+    assert lossy, "tiny-scale filtering always costs some fidelity"
+    repo, item_id = lossy[0]
+    explanations = explain_pair(recorder, repo, item_id)
+    assert explanations
+    # With no failures in play every missing update was filtered away
+    # (or suppressed at the source) -- never dropped.
+    assert all(e.verdict != "dropped" for e in explanations)
+
+
+def test_format_explanation_names_hop_and_reason(crash_partition_run):
+    recorder, result = crash_partition_run
+    explanations = explain_loss_segments(
+        recorder, result.extras["per_pair_loss"]
+    )
+    dropped = next(
+        e
+        for pair_explanations in explanations.values()
+        for e in pair_explanations
+        if e.verdict == "dropped"
+    )
+    line = format_explanation(dropped)
+    assert f"{dropped.node}->{dropped.dst}" in line
+    assert f"[{dropped.reason}]" in line
+    assert f"update {dropped.update_id}" in line

@@ -1,0 +1,106 @@
+"""Unit tests for the metrics registry primitives."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_accumulates_and_rejects_negative():
+    c = Counter("messages")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_tracks_last_min_max():
+    g = Gauge("queue_depth")
+    for v in (3.0, 7.0, 1.0):
+        g.set(v)
+    assert g.value == 1.0
+    assert g.min == 1.0
+    assert g.max == 7.0
+
+
+def test_histogram_buckets_are_inclusive_upper_edges():
+    h = Histogram("latency", bounds=(1.0, 10.0))
+    for v in (0.5, 1.0, 5.0, 10.0, 99.0):
+        h.observe(v)
+    # buckets: <=1, <=10, overflow
+    assert h.buckets == [2, 2, 1]
+    assert h.count == 5
+    assert h.total == pytest.approx(115.5)
+    assert h.min == 0.5
+    assert h.max == 99.0
+    assert h.mean == pytest.approx(115.5 / 5)
+
+
+def test_registry_get_or_create_is_idempotent():
+    m = MetricsRegistry()
+    assert m.counter("a") is m.counter("a")
+    assert m.gauge("b") is m.gauge("b")
+    assert m.histogram("c") is m.histogram("c")
+
+
+def test_snapshot_is_json_ready_and_sorted(tmp_path):
+    m = MetricsRegistry()
+    m.counter("z").inc(2)
+    m.counter("a").inc(1)
+    m.gauge("depth").set(4.0)
+    m.histogram("lat", bounds=DEFAULT_LATENCY_BOUNDS_MS).observe(3.0)
+    snap = m.snapshot()
+    assert list(snap) == ["counters", "gauges", "histograms"]
+    assert list(snap["counters"]) == ["a", "z"]
+    # Round-trips through json without custom encoders.
+    json.dumps(snap)
+    path = m.write_json(tmp_path / "metrics.json")
+    assert json.loads(path.read_text()) == snap
+
+
+def test_snapshot_empty_histogram_has_no_non_finite_floats():
+    m = MetricsRegistry()
+    m.histogram("empty")
+    snap = m.snapshot()
+    h = snap["histograms"]["empty"]
+    assert h["count"] == 0
+    assert h["min"] is None and h["max"] is None
+    assert not any(
+        isinstance(v, float) and not math.isfinite(v) for v in h.values()
+    )
+
+
+def test_absorb_merges_counters_histograms_and_prefixes_gauges():
+    a = MetricsRegistry()
+    a.counter("msgs").inc(3)
+    a.histogram("lat", bounds=(1.0, 10.0)).observe(5.0)
+    a.gauge("depth").set(2.0)
+
+    b = MetricsRegistry()
+    b.counter("msgs").inc(1)
+    b.histogram("lat", bounds=(1.0, 10.0)).observe(0.5)
+    b.absorb(a.snapshot(), gauge_prefix="worker0.")
+
+    assert b.counter("msgs").value == 4
+    h = b.histogram("lat")
+    assert h.count == 2
+    assert h.buckets == [1, 1, 0]
+    assert b.gauge("worker0.depth").value == 2.0
+
+
+def test_absorb_rejects_mismatched_histogram_bounds():
+    a = MetricsRegistry()
+    a.histogram("lat", bounds=(1.0,)).observe(0.5)
+    b = MetricsRegistry()
+    b.histogram("lat", bounds=(2.0,))
+    with pytest.raises(ValueError):
+        b.absorb(a.snapshot())
